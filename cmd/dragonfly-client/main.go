@@ -1,0 +1,96 @@
+// Command dragonfly-client streams a video from a dragonfly-server with any
+// of the implemented schemes, replaying a (synthetic or recorded) head
+// trace in real time, and prints the session's quality metrics.
+//
+// Usage:
+//
+//	dragonfly-client -addr 127.0.0.1:7360 -video v8 -scheme dragonfly
+//	dragonfly-client -video v1 -scheme flare -motion high -duration 30s
+//	dragonfly-client -video v1 -head trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dragonfly/internal/client"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/video"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7360", "server address")
+	videoID := flag.String("video", "v1", "video ID to stream")
+	schemeKey := flag.String("scheme", "dragonfly", "scheme: dragonfly, flare, pano, twotier, ...")
+	motion := flag.String("motion", "medium", "synthetic user motion: low, medium, high")
+	headFile := flag.String("head", "", "head-trace CSV to replay instead of a synthetic user")
+	duration := flag.Duration("duration", time.Minute, "synthetic head-trace duration")
+	seed := flag.Int64("seed", 1, "synthetic head-trace seed")
+	flag.Parse()
+
+	factory, ok := sim.Registry()[*schemeKey]
+	if !ok {
+		log.Fatalf("unknown scheme %q; known: see internal/sim.Registry", *schemeKey)
+	}
+
+	var head *trace.HeadTrace
+	if *headFile != "" {
+		f, err := os.Open(*headFile)
+		if err != nil {
+			log.Fatalf("open head trace: %v", err)
+		}
+		head, err = trace.ReadHeadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse head trace: %v", err)
+		}
+	} else {
+		class := trace.MotionMedium
+		switch *motion {
+		case "low":
+			class = trace.MotionLow
+		case "high":
+			class = trace.MotionHigh
+		case "medium":
+		default:
+			log.Fatalf("unknown motion class %q", *motion)
+		}
+		head = trace.GenerateHead(trace.HeadGenParams{
+			UserID: "cli-user", Class: class, Duration: *duration, Seed: *seed,
+		})
+	}
+
+	conn, err := client.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	scheme := factory()
+	log.Printf("streaming %s with %s from %s ...", *videoID, scheme.Name(), *addr)
+	begin := time.Now()
+	met, err := client.Play(conn, *videoID, head, scheme, client.PlayOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsession complete in %s\n", time.Since(begin).Round(time.Millisecond))
+	fmt.Printf("  scheme            %s\n", met.SchemeName)
+	fmt.Printf("  frames rendered   %d\n", met.TotalFrames)
+	fmt.Printf("  median PSNR       %.2f dB (p10 %.2f, p90 %.2f)\n",
+		met.MedianScore(), met.ScorePercentile(10), met.ScorePercentile(90))
+	fmt.Printf("  startup delay     %s\n", met.StartupDelay.Round(time.Millisecond))
+	fmt.Printf("  rebuffering       %.2f%% (%d stalls)\n", 100*met.RebufferRatio(), met.StallEvents)
+	fmt.Printf("  incomplete frames %.2f%%\n", met.IncompleteFramePct())
+	fmt.Printf("  bytes received    %.2f MB (wastage %.1f%%)\n",
+		float64(met.BytesReceived)/1e6, met.WastagePct())
+	fmt.Printf("  tile sources      ")
+	for q := video.Quality(0); q < video.NumQualities; q++ {
+		fmt.Printf("q%d(QP%d)=%.1f%% ", q, q.QP(), 100*met.QualityShare(q))
+	}
+	fmt.Printf("masked=%.1f%% blank=%.1f%%\n", 100*met.MaskingShare(), 100*met.BlankShare())
+}

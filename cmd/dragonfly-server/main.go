@@ -1,0 +1,80 @@
+// Command dragonfly-server runs the tile server over TCP, optionally
+// shaping each connection's downstream bandwidth with a trace file — the
+// role Mahimahi plays in the paper's testbed.
+//
+// Usage:
+//
+//	dragonfly-server -addr :7360                 # serve the Table 3 dataset
+//	dragonfly-server -addr :7360 -bw trace.csv   # shape downstream bandwidth
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"dragonfly/internal/netem"
+	"dragonfly/internal/server"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/video"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7360", "listen address")
+	bwFile := flag.String("bw", "", "bandwidth trace CSV to shape each connection (empty = unshaped)")
+	latency := flag.Duration("latency", 0, "one-way propagation delay to add")
+	chunks := flag.Int("chunks", 60, "chunks per generated video (60 = 1 minute)")
+	flag.Parse()
+
+	var manifests []*video.Manifest
+	for _, e := range video.Table3 {
+		manifests = append(manifests, video.Generate(video.GenParams{
+			ID:             e.ID,
+			NumChunks:      *chunks,
+			TargetQP42Mbps: e.QP42Mbps,
+			TargetQP22Mbps: e.QP22Mbps,
+			MotionLevel:    e.MotionLevel,
+			Seed:           e.Seed,
+		}))
+	}
+	srv := server.New(manifests...)
+	srv.Logf = log.Printf
+
+	var link netem.Link
+	if *bwFile != "" {
+		f, err := os.Open(*bwFile)
+		if err != nil {
+			log.Fatalf("open bandwidth trace: %v", err)
+		}
+		tr, err := trace.ReadBandwidthCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse bandwidth trace: %v", err)
+		}
+		link.Trace = tr
+		fmt.Printf("shaping downstream with %s (mean %.1f Mbps over %s)\n",
+			tr.ID, tr.Mean(), tr.Duration().Round(time.Second))
+	}
+	link.Latency = *latency
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	var listener net.Listener = l
+	if link.Trace != nil || link.Latency > 0 {
+		listener = netem.WrapListener(l, link)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	log.Printf("dragonfly server on %s serving %v", l.Addr(), srv.Videos())
+	if err := srv.Serve(ctx, listener); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+}

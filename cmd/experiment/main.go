@@ -1,0 +1,67 @@
+// Command experiment regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiment -list
+//	experiment -run fig9              # one experiment at paper scale
+//	experiment -run all -scale small  # everything, scaled down
+//	experiment -run fig14-17 -study-users 26
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dragonfly/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment ID to run, or 'all'")
+	scale := flag.String("scale", "full", "dataset scale: full (paper) or small (quick)")
+	studyUsers := flag.Int("study-users", 26, "participants in the user-study simulation")
+	csvDir := flag.String("csv", "", "directory to also dump CDF series as CSV (Figs 9, 11, 12)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All(*studyUsers) {
+			fmt.Printf("%-10s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	var env *experiments.Env
+	switch *scale {
+	case "full":
+		log.Printf("building paper-scale environment (7 videos, 10 users, 11+10 traces)...")
+		env = experiments.DefaultEnv()
+	case "small":
+		env = experiments.SmallEnv()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	env.CSVDir = *csvDir
+
+	runOne := func(e experiments.Experiment) {
+		begin := time.Now()
+		if err := e.Run(env, os.Stdout); err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Printf("[%s done in %s]\n\n", e.ID, time.Since(begin).Round(time.Millisecond))
+	}
+
+	if *run == "all" {
+		for _, e := range experiments.All(*studyUsers) {
+			runOne(e)
+		}
+		return
+	}
+	e, ok := experiments.Find(*run, *studyUsers)
+	if !ok {
+		log.Fatalf("unknown experiment %q (use -list)", *run)
+	}
+	runOne(e)
+}

@@ -1,0 +1,130 @@
+package abr
+
+import (
+	"testing"
+	"time"
+
+	"dragonfly/internal/video"
+)
+
+func TestChunkBudget(t *testing.T) {
+	// 8 Mbps for 1 s at safety 1.0 = 1e6 bytes.
+	if got := ChunkBudget(8, time.Second, 1); got != 1e6 {
+		t.Errorf("budget = %d", got)
+	}
+	// Default safety applies when non-positive.
+	if got := ChunkBudget(8, time.Second, 0); got != int64(1e6*DefaultSafety) {
+		t.Errorf("default-safety budget = %d", got)
+	}
+	if got := ChunkBudget(-5, time.Second, 1); got != 0 {
+		t.Errorf("negative rate budget = %d", got)
+	}
+}
+
+func TestMaxQualityFitting(t *testing.T) {
+	sizes := map[video.Quality]int64{0: 100, 1: 200, 2: 400, 3: 800, 4: 1600}
+	cost := func(q video.Quality) int64 { return sizes[q] }
+	if got := MaxQualityFitting(cost, 1600, 0, 4); got != 4 {
+		t.Errorf("ample budget picked %d", got)
+	}
+	if got := MaxQualityFitting(cost, 799, 0, 4); got != 2 {
+		t.Errorf("mid budget picked %d", got)
+	}
+	if got := MaxQualityFitting(cost, 50, 0, 4); got != 0 {
+		t.Errorf("starved budget picked %d, want floor", got)
+	}
+	// Respects minQ floor.
+	if got := MaxQualityFitting(cost, 50, 1, 4); got != 1 {
+		t.Errorf("floored budget picked %d, want 1", got)
+	}
+}
+
+func TestQualityForDeadline(t *testing.T) {
+	sizes := map[video.Quality]int64{0: 1000, 1: 2000, 2: 4000, 3: 8000, 4: 16000}
+	size := func(q video.Quality) int64 { return sizes[q] }
+	// 10 KB/s for 1 s with no backlog: 10000 bytes => q3.
+	if got := QualityForDeadline(size, 0, 10000, time.Second, 0, 4); got != 3 {
+		t.Errorf("deadline quality = %d, want 3", got)
+	}
+	// Backlog eats the budget.
+	if got := QualityForDeadline(size, 9000, 10000, time.Second, 0, 4); got != 0 {
+		t.Errorf("backlogged quality = %d, want 0", got)
+	}
+	// Dead link: minimum.
+	if got := QualityForDeadline(size, 0, 0, time.Second, 0, 4); got != 0 {
+		t.Errorf("dead link quality = %d", got)
+	}
+}
+
+func ladderCost(q video.Quality) int64 {
+	sizes := [video.NumQualities]int64{50_000, 100_000, 200_000, 400_000, 800_000}
+	return sizes[q]
+}
+
+func TestRateBasedAlgorithm(t *testing.T) {
+	r := RateBased{Safety: 1}
+	if r.Name() != "rate" {
+		t.Error("name")
+	}
+	// 8 Mbps x 1 s = 1e6 bytes: the whole ladder fits -> highest.
+	if got := r.Choose(8, 0, time.Second, ladderCost); got != video.NumQualities-1 {
+		t.Errorf("fast link chose %d", got)
+	}
+	// 1 Mbps = 125 kB: q1 (100 kB) fits, q2 (200 kB) does not.
+	if got := r.Choose(1, 0, time.Second, ladderCost); got != 1 {
+		t.Errorf("slow link chose %d", got)
+	}
+}
+
+func TestBufferBasedAlgorithm(t *testing.T) {
+	b := BufferBased{Reservoir: time.Second, Cushion: 4 * time.Second}
+	if b.Name() != "bba" {
+		t.Error("name")
+	}
+	if got := b.Choose(100, 500*time.Millisecond, time.Second, ladderCost); got != 0 {
+		t.Errorf("below reservoir chose %d", got)
+	}
+	if got := b.Choose(0.1, 10*time.Second, time.Second, ladderCost); got != video.NumQualities-1 {
+		t.Errorf("above cushion chose %d", got)
+	}
+	mid := b.Choose(5, 3*time.Second, time.Second, ladderCost)
+	if mid <= 0 || mid >= video.NumQualities-1 {
+		t.Errorf("mid buffer chose %d, want interior level", mid)
+	}
+	// Monotone in buffer.
+	prev := video.Quality(0)
+	for ms := 0; ms <= 8000; ms += 250 {
+		q := b.Choose(5, time.Duration(ms)*time.Millisecond, time.Second, ladderCost)
+		if q < prev {
+			t.Fatalf("BBA not monotone in buffer at %dms", ms)
+		}
+		prev = q
+	}
+}
+
+func TestMPCAlgorithm(t *testing.T) {
+	m := MPC{}
+	if m.Name() != "mpc" {
+		t.Error("name")
+	}
+	// Plenty of bandwidth and buffer: highest.
+	if got := m.Choose(50, 3*time.Second, time.Second, ladderCost); got != video.NumQualities-1 {
+		t.Errorf("ample chose %d", got)
+	}
+	// Dead link: lowest.
+	if got := m.Choose(0, 0, time.Second, ladderCost); got != 0 {
+		t.Errorf("dead link chose %d", got)
+	}
+	// Thin buffer + marginal rate: MPC backs off below what rate-based picks.
+	rb := RateBased{Safety: 1}.Choose(1.8, 0, time.Second, ladderCost)
+	mpc := m.Choose(1.8, 100*time.Millisecond, time.Second, ladderCost)
+	if mpc > rb {
+		t.Errorf("MPC (%d) more aggressive than rate-based (%d) with no buffer", mpc, rb)
+	}
+	// More buffer should never decrease MPC's choice.
+	lo := m.Choose(2, 200*time.Millisecond, time.Second, ladderCost)
+	hi := m.Choose(2, 4*time.Second, time.Second, ladderCost)
+	if hi < lo {
+		t.Errorf("MPC not monotone in buffer: %d -> %d", lo, hi)
+	}
+}

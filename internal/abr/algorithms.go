@@ -1,0 +1,131 @@
+package abr
+
+import (
+	"time"
+
+	"dragonfly/internal/video"
+)
+
+// This file implements the classic chunk-level ABR algorithms the paper's
+// background cites ([27] buffer-based, [49] MPC) as selectable policies.
+// Pano and Two-tier pick a bitrate per chunk with "a traditional ABR
+// algorithm" (§4.1); the rate-based policy with a harmonic-mean estimate is
+// the default used in the evaluation, and these variants exist for
+// ablations of that substrate choice.
+
+// Algorithm chooses a per-chunk quality from throughput and buffer state.
+type Algorithm interface {
+	// Name identifies the policy.
+	Name() string
+	// Choose picks a quality given the throughput estimate, the current
+	// buffer level, and the cost (bytes) of this chunk at each quality.
+	Choose(predictedMbps float64, buffer time.Duration, chunkDur time.Duration, cost func(video.Quality) int64) video.Quality
+}
+
+// RateBased is the default policy: the highest quality whose cost fits the
+// discounted throughput-estimate budget. This is what ChunkBudget +
+// MaxQualityFitting implement inline for the baselines.
+type RateBased struct {
+	Safety float64
+}
+
+// Name implements Algorithm.
+func (r RateBased) Name() string { return "rate" }
+
+// Choose implements Algorithm.
+func (r RateBased) Choose(predictedMbps float64, _ time.Duration, chunkDur time.Duration, cost func(video.Quality) int64) video.Quality {
+	budget := ChunkBudget(predictedMbps, chunkDur, r.Safety)
+	return MaxQualityFitting(cost, budget, 0, video.NumQualities-1)
+}
+
+// BufferBased implements the BBA-style policy of Huang et al. [27]: quality
+// is a piecewise-linear function of buffer occupancy alone — below the
+// reservoir pick the lowest, above the cushion the highest, linear between.
+type BufferBased struct {
+	// Reservoir is the buffer level below which the lowest quality is used.
+	Reservoir time.Duration
+	// Cushion is the additional buffer over which quality ramps linearly to
+	// the highest level.
+	Cushion time.Duration
+}
+
+// Name implements Algorithm.
+func (b BufferBased) Name() string { return "bba" }
+
+// Choose implements Algorithm.
+func (b BufferBased) Choose(_ float64, buffer time.Duration, _ time.Duration, _ func(video.Quality) int64) video.Quality {
+	reservoir := b.Reservoir
+	if reservoir <= 0 {
+		reservoir = time.Second
+	}
+	cushion := b.Cushion
+	if cushion <= 0 {
+		cushion = 3 * time.Second
+	}
+	if buffer <= reservoir {
+		return 0
+	}
+	if buffer >= reservoir+cushion {
+		return video.NumQualities - 1
+	}
+	frac := float64(buffer-reservoir) / float64(cushion)
+	q := video.Quality(frac * float64(video.NumQualities-1))
+	if q >= video.NumQualities {
+		q = video.NumQualities - 1
+	}
+	return q
+}
+
+// MPC implements a simplified model-predictive policy [49]: over a short
+// horizon of upcoming chunks it maximizes quality minus rebuffering risk,
+// assuming the throughput estimate holds. With per-chunk costs provided
+// only for the next chunk, the horizon uses that chunk's ladder as a proxy
+// for its successors (adequate for 1-second chunks).
+type MPC struct {
+	// HorizonChunks is how many future chunks the plan covers (default 3).
+	HorizonChunks int
+	// RebufferPenalty converts a second of predicted rebuffering into
+	// quality-level units (default 6: one level ≈ 0.17 s of stall).
+	RebufferPenalty float64
+}
+
+// Name implements Algorithm.
+func (m MPC) Name() string { return "mpc" }
+
+// Choose implements Algorithm.
+func (m MPC) Choose(predictedMbps float64, buffer time.Duration, chunkDur time.Duration, cost func(video.Quality) int64) video.Quality {
+	horizon := m.HorizonChunks
+	if horizon <= 0 {
+		horizon = 3
+	}
+	penalty := m.RebufferPenalty
+	if penalty <= 0 {
+		penalty = 6
+	}
+	rate := predictedMbps * 1e6 / 8 // bytes per second
+	if rate <= 0 {
+		return 0
+	}
+	best := video.Quality(0)
+	bestScore := -1e18
+	for q := video.Quality(0); q < video.NumQualities; q++ {
+		// Simulate downloading `horizon` chunks at quality q.
+		buf := buffer.Seconds()
+		rebuf := 0.0
+		downloadSec := float64(cost(q)) / rate
+		for h := 0; h < horizon; h++ {
+			buf -= downloadSec
+			if buf < 0 {
+				rebuf += -buf
+				buf = 0
+			}
+			buf += chunkDur.Seconds()
+		}
+		score := float64(q)*float64(horizon) - penalty*rebuf
+		if score > bestScore {
+			bestScore = score
+			best = q
+		}
+	}
+	return best
+}

@@ -1,0 +1,163 @@
+// Package baseline implements the state-of-the-art systems the paper
+// compares against — Flare [38], Pano [24] and Two-tier [43] — plus the
+// PassiveSkip ablation variant of Table 2. All of them were re-implemented
+// by the paper's authors on the Dragonfly codebase (§4.1 "Scheme
+// implementations"); this package does the same on top of internal/player.
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"dragonfly/internal/abr"
+	"dragonfly/internal/geom"
+	"dragonfly/internal/player"
+	"dragonfly/internal/video"
+)
+
+// FlareOptions configures the Flare baseline.
+type FlareOptions struct {
+	// Lookahead is how far ahead tiles are fetched (paper default: 3 s,
+	// with a 1 s sensitivity variant in §4.3).
+	Lookahead time.Duration
+	// PeripheryDeg extends the fetched region beyond the viewport cap.
+	PeripheryDeg float64
+	// PeripheryDrop is how many quality levels below the viewport quality
+	// the periphery ring is fetched at.
+	PeripheryDrop int
+	// Name overrides the reported name (for the 1 s variant).
+	Name string
+}
+
+// Flare fetches the predicted viewport plus a periphery ring, refines its
+// decision every 100 ms, urgently re-fetches tiles discovered to be needed
+// for imminent playback (at whatever quality still meets the deadline), and
+// stalls when a viewport tile misses its deadline.
+type Flare struct {
+	opts FlareOptions
+}
+
+// NewFlare creates the baseline with the paper's defaults.
+func NewFlare(opts FlareOptions) *Flare {
+	if opts.Lookahead == 0 {
+		opts.Lookahead = 3 * time.Second
+	}
+	if opts.PeripheryDeg == 0 {
+		opts.PeripheryDeg = 15
+	}
+	if opts.PeripheryDrop == 0 {
+		opts.PeripheryDrop = 2
+	}
+	return &Flare{opts: opts}
+}
+
+// Name implements player.Scheme.
+func (f *Flare) Name() string {
+	if f.opts.Name != "" {
+		return f.opts.Name
+	}
+	return "Flare"
+}
+
+// DecisionInterval implements player.Scheme: Flare refines every 100 ms
+// (Table 1).
+func (f *Flare) DecisionInterval() time.Duration { return 100 * time.Millisecond }
+
+// StallPolicy implements player.Scheme: Flare pauses playback until all
+// viewport tiles arrive (Table 1).
+func (f *Flare) StallPolicy() player.StallPolicy { return player.StallOnMissingAny }
+
+// Decide implements player.Scheme.
+func (f *Flare) Decide(ctx *player.Context) []player.RequestItem {
+	m := ctx.Manifest
+	rate := ctx.PredictedMbps * 1e6 / 8
+	chunkDur := time.Duration(m.ChunkFrames) * ctx.FrameDuration
+
+	// Urgent pass: tiles needed for the *current* viewport right now but
+	// never fetched — pick the quality that still meets the deadline
+	// (often the lowest; Fig 4's persistent low quality).
+	var urgent []player.RequestItem
+	var backlog int64
+	nowChunk := m.ChunkOfFrame(ctx.PlayFrame)
+	currentVP := ctx.Viewport.Tiles(ctx.Grid, ctx.Predict(ctx.Now))
+	for _, id := range currentVP {
+		if _, ok := ctx.Received.BestPrimary(nowChunk, id); ok {
+			continue
+		}
+		q := abr.QualityForDeadline(func(q video.Quality) int64 {
+			return m.TileSize(nowChunk, id, q)
+		}, backlog, rate, 300*time.Millisecond, video.Lowest, video.Highest)
+		urgent = append(urgent, player.RequestItem{Stream: player.Primary, Chunk: nowChunk, Tile: id, Quality: q})
+		backlog += m.TileSize(nowChunk, id, q)
+	}
+
+	// Planned pass: per future chunk in the look-ahead, fetch the predicted
+	// viewport at the best uniform quality the budget allows, plus a
+	// lower-quality periphery ring.
+	lastFrame := ctx.PlayFrame + int(f.opts.Lookahead.Seconds()*float64(m.FPS))
+	if lastFrame >= m.NumFrames() {
+		lastFrame = m.NumFrames() - 1
+	}
+	items := urgent
+	for c := nowChunk; c <= m.ChunkOfFrame(lastFrame); c++ {
+		at := ctx.FrameDeadline(m.FirstFrame(c))
+		if at < ctx.Now {
+			at = ctx.Now
+		}
+		center := ctx.Predict(at)
+		vpTiles := ctx.Viewport.Tiles(ctx.Grid, center)
+		outer := ctx.Grid.TilesInCap(center, ctx.Viewport.RadiusDeg+f.opts.PeripheryDeg)
+		inVP := make(map[geom.TileID]bool, len(vpTiles))
+		for _, id := range vpTiles {
+			inVP[id] = true
+		}
+		var periphery []geom.TileID
+		for _, id := range outer {
+			if !inVP[id] {
+				periphery = append(periphery, id)
+			}
+		}
+
+		budget := abr.ChunkBudget(ctx.PredictedMbps, chunkDur, 0)
+		qv := abr.MaxQualityFitting(func(q video.Quality) int64 {
+			total := int64(0)
+			for _, id := range vpTiles {
+				total += m.TileSize(c, id, q)
+			}
+			qp := peripheryQuality(q, f.opts.PeripheryDrop)
+			for _, id := range periphery {
+				total += m.TileSize(c, id, qp)
+			}
+			return total
+		}, budget, video.Lowest, video.Highest)
+		qp := peripheryQuality(qv, f.opts.PeripheryDrop)
+
+		// Viewport tiles sorted by centrality so the most important tiles
+		// of each chunk transmit first.
+		sort.Slice(vpTiles, func(a, b int) bool {
+			da := geom.AngularDistance(ctx.Grid.Center(vpTiles[a]), center)
+			db := geom.AngularDistance(ctx.Grid.Center(vpTiles[b]), center)
+			if da != db {
+				return da < db
+			}
+			return vpTiles[a] < vpTiles[b]
+		})
+		for _, id := range vpTiles {
+			items = append(items, player.RequestItem{Stream: player.Primary, Chunk: c, Tile: id, Quality: qv})
+		}
+		for _, id := range periphery {
+			items = append(items, player.RequestItem{Stream: player.Primary, Chunk: c, Tile: id, Quality: qp})
+		}
+	}
+	return items
+}
+
+// peripheryQuality lowers the viewport quality by drop levels, floored at
+// the lowest encoding.
+func peripheryQuality(q video.Quality, drop int) video.Quality {
+	p := q - video.Quality(drop)
+	if p < video.Lowest {
+		p = video.Lowest
+	}
+	return p
+}

@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"dragonfly/internal/abr"
+	"dragonfly/internal/geom"
+	"dragonfly/internal/player"
+	"dragonfly/internal/quality"
+	"dragonfly/internal/video"
+)
+
+// PanoOptions configures the Pano baseline.
+type PanoOptions struct {
+	// Metric selects the quality score Pano maximizes when assigning tile
+	// qualities (PSNR by default; §4.3 also evaluates a PSPNR variant).
+	Metric quality.Metric
+	// Lookahead is how far ahead chunks are committed (3 s default; §4.3
+	// evaluates a 1 s variant).
+	Lookahead time.Duration
+	// Groups is the number of variable tile groups per chunk (Pano groups
+	// tiles of similar quality sensitivity and fetches each group at one
+	// quality).
+	Groups int
+	Name   string
+}
+
+// Pano runs a traditional chunk-level ABR, then assigns per-group tile
+// qualities maximizing the quality metric within the chunk's budget. It
+// transmits the full 360° (non-viewport groups at the lowest quality),
+// decides once per chunk, never refines, and stalls on missing tiles
+// (Table 1).
+type Pano struct {
+	opts PanoOptions
+
+	// assigned caches the per-chunk decision: once made it is never
+	// revisited (Table 1 "Refine fetch decision: No").
+	assigned map[int][]player.RequestItem
+}
+
+// NewPano creates the baseline with the paper's defaults.
+func NewPano(opts PanoOptions) *Pano {
+	if opts.Lookahead == 0 {
+		opts.Lookahead = 3 * time.Second
+	}
+	if opts.Groups == 0 {
+		opts.Groups = video.DefaultGroupCount
+	}
+	return &Pano{opts: opts, assigned: make(map[int][]player.RequestItem)}
+}
+
+// Name implements player.Scheme.
+func (p *Pano) Name() string {
+	if p.opts.Name != "" {
+		return p.opts.Name
+	}
+	if p.opts.Metric == quality.PSPNR {
+		return "Pano-PSPNR"
+	}
+	return "Pano"
+}
+
+// DecisionInterval implements player.Scheme: decisions are made per chunk.
+func (p *Pano) DecisionInterval() time.Duration { return time.Second }
+
+// StallPolicy implements player.Scheme.
+func (p *Pano) StallPolicy() player.StallPolicy { return player.StallOnMissingAny }
+
+// Decide implements player.Scheme: commit any newly visible chunks, then
+// re-emit all still-relevant items (the engine's server dedupes what has
+// already been transmitted).
+func (p *Pano) Decide(ctx *player.Context) []player.RequestItem {
+	m := ctx.Manifest
+	nowChunk := m.ChunkOfFrame(ctx.PlayFrame)
+	lastFrame := ctx.PlayFrame + int(p.opts.Lookahead.Seconds()*float64(m.FPS))
+	if lastFrame >= m.NumFrames() {
+		lastFrame = m.NumFrames() - 1
+	}
+	for c := nowChunk; c <= m.ChunkOfFrame(lastFrame); c++ {
+		if _, done := p.assigned[c]; !done {
+			p.assigned[c] = p.assignChunk(ctx, c)
+		}
+	}
+	var items []player.RequestItem
+	for c := nowChunk; c <= m.ChunkOfFrame(lastFrame); c++ {
+		items = append(items, p.assigned[c]...)
+	}
+	return items
+}
+
+// assignChunk makes the one-shot decision for a chunk: group tiles by
+// quality sensitivity, start everything at the lowest quality, then
+// greedily upgrade the group with the best viewport-weighted quality gain
+// per byte until the ABR budget is exhausted.
+func (p *Pano) assignChunk(ctx *player.Context, chunk int) []player.RequestItem {
+	m := ctx.Manifest
+	chunkDur := time.Duration(m.ChunkFrames) * ctx.FrameDuration
+	budget := abr.ChunkBudget(ctx.PredictedMbps, chunkDur, 0)
+
+	at := ctx.FrameDeadline(m.FirstFrame(chunk))
+	if at < ctx.Now {
+		at = ctx.Now
+	}
+	center := ctx.Predict(at)
+
+	groups := video.GroupTiles(m, chunk, p.opts.Groups)
+	type groupState struct {
+		tiles     []geom.TileID
+		relevance float64 // viewport-overlap weight of the group
+		q         video.Quality
+	}
+	states := make([]*groupState, len(groups))
+	var spent int64
+	for i, g := range groups {
+		gs := &groupState{tiles: g, q: video.Lowest}
+		for _, id := range g {
+			gs.relevance += ctx.Grid.OverlapCap(id, center, ctx.Viewport.RadiusDeg+10)
+			spent += m.TileSize(chunk, id, video.Lowest)
+		}
+		states[i] = gs
+	}
+
+	// Greedy upgrades: best marginal (relevance-weighted quality gain per
+	// extra byte) first.
+	for {
+		bestIdx, bestGain := -1, 0.0
+		var bestCost int64
+		for i, gs := range states {
+			if gs.q >= video.Highest || gs.relevance == 0 {
+				continue
+			}
+			var cost int64
+			gain := 0.0
+			for _, id := range gs.tiles {
+				cost += m.TileSize(chunk, id, gs.q+1) - m.TileSize(chunk, id, gs.q)
+				gain += quality.TileScore(p.opts.Metric, m, chunk, id, gs.q+1) -
+					quality.TileScore(p.opts.Metric, m, chunk, id, gs.q)
+			}
+			if cost <= 0 {
+				continue
+			}
+			score := gs.relevance * gain / float64(cost)
+			if spent+cost <= budget && score > bestGain {
+				bestGain = score
+				bestIdx = i
+				bestCost = cost
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		states[bestIdx].q++
+		spent += bestCost
+	}
+
+	// Emit: viewport-relevant groups first, then the rest, all at their
+	// assigned qualities (the whole 360° is transmitted).
+	sort.SliceStable(states, func(a, b int) bool { return states[a].relevance > states[b].relevance })
+	var items []player.RequestItem
+	for _, gs := range states {
+		for _, id := range gs.tiles {
+			items = append(items, player.RequestItem{Stream: player.Primary, Chunk: chunk, Tile: id, Quality: gs.q})
+		}
+	}
+	return items
+}

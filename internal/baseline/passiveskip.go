@@ -1,0 +1,113 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"dragonfly/internal/abr"
+	"dragonfly/internal/geom"
+	"dragonfly/internal/player"
+	"dragonfly/internal/video"
+)
+
+// PassiveSkip is the Table 2 ablation variant that keeps Dragonfly's two
+// streams and 100 ms refinement but replaces the utility scheduler with a
+// passive discipline: fetch every predicted-viewport tile in deadline order
+// at a uniform budget-fitting quality, and simply skip whatever misses its
+// deadline. Comparing it against Dragonfly isolates the value of
+// utility-driven proactive skipping (§4.4).
+type PassiveSkip struct {
+	maskingLookahead time.Duration
+	primaryLookahead time.Duration
+}
+
+// NewPassiveSkip creates the variant with the paper's look-aheads (3 s
+// masking, 1 s primary).
+func NewPassiveSkip() *PassiveSkip {
+	return &PassiveSkip{maskingLookahead: 3 * time.Second, primaryLookahead: time.Second}
+}
+
+// Name implements player.Scheme.
+func (p *PassiveSkip) Name() string { return "PassiveSkip" }
+
+// DecisionInterval implements player.Scheme: like Dragonfly, 100 ms.
+func (p *PassiveSkip) DecisionInterval() time.Duration { return 100 * time.Millisecond }
+
+// StallPolicy implements player.Scheme: playback never stalls.
+func (p *PassiveSkip) StallPolicy() player.StallPolicy { return player.NeverStall }
+
+// Decide implements player.Scheme.
+func (p *PassiveSkip) Decide(ctx *player.Context) []player.RequestItem {
+	m := ctx.Manifest
+
+	// Masking stream, identical to Dragonfly's full-360° strategy.
+	nowChunk := m.ChunkOfFrame(ctx.PlayFrame)
+	maskLast := ctx.PlayFrame + int(p.maskingLookahead.Seconds()*float64(m.FPS))
+	if maskLast >= m.NumFrames() {
+		maskLast = m.NumFrames() - 1
+	}
+	var items []player.RequestItem
+	var maskBytes int64
+	for c := nowChunk; c <= m.ChunkOfFrame(maskLast); c++ {
+		if !ctx.Received.HasFullMasking(c) {
+			items = append(items, player.RequestItem{Stream: player.Masking, Chunk: c, Full360: true, Quality: video.Lowest})
+			maskBytes += m.Full360Size(c, video.Lowest)
+		}
+	}
+
+	// Primary stream: all tiles of the predicted viewport plus a periphery
+	// ring (the "direct adaptation of existing techniques" — Flare's fetch
+	// region) over the short window, strictly deadline-ordered, at one
+	// uniform quality that fits the budget left after masking. No
+	// prioritization, no proactive skips.
+	primLast := ctx.PlayFrame + int(p.primaryLookahead.Seconds()*float64(m.FPS))
+	if primLast >= m.NumFrames() {
+		primLast = m.NumFrames() - 1
+	}
+	type want struct {
+		chunk int
+		tile  geom.TileID
+		dist  float64
+	}
+	var wants []want
+	for c := nowChunk; c <= m.ChunkOfFrame(primLast); c++ {
+		at := ctx.FrameDeadline(m.FirstFrame(c))
+		if at < ctx.Now {
+			at = ctx.Now
+		}
+		center := ctx.Predict(at)
+		for _, id := range ctx.Grid.TilesInCap(center, ctx.Viewport.RadiusDeg+15) {
+			if _, ok := ctx.Received.BestPrimary(c, id); ok {
+				continue
+			}
+			wants = append(wants, want{chunk: c, tile: id,
+				dist: geom.AngularDistance(ctx.Grid.Center(id), center)})
+		}
+	}
+	sort.Slice(wants, func(a, b int) bool {
+		if wants[a].chunk != wants[b].chunk {
+			return wants[a].chunk < wants[b].chunk
+		}
+		if wants[a].dist != wants[b].dist {
+			return wants[a].dist < wants[b].dist
+		}
+		return wants[a].tile < wants[b].tile
+	})
+
+	budget := abr.ChunkBudget(ctx.PredictedMbps, p.primaryLookahead, 0) - maskBytes
+	if budget < 0 {
+		budget = 0
+	}
+	q := abr.MaxQualityFitting(func(q video.Quality) int64 {
+		total := int64(0)
+		for _, w := range wants {
+			total += m.TileSize(w.chunk, w.tile, q)
+		}
+		return total
+	}, budget, video.Lowest+1, video.Highest)
+
+	for _, w := range wants {
+		items = append(items, player.RequestItem{Stream: player.Primary, Chunk: w.chunk, Tile: w.tile, Quality: q})
+	}
+	return items
+}

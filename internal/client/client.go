@@ -1,0 +1,376 @@
+// Package client implements the real-time streaming client: it drives any
+// player.Scheme over the wire protocol against a tile server, replaying a
+// user head trace in wall-clock time and producing the same session metrics
+// as the discrete-event engine. This is the path exercised by the
+// cmd/dragonfly-client binary and the live-stream example.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dragonfly/internal/geom"
+	"dragonfly/internal/player"
+	"dragonfly/internal/predict"
+	"dragonfly/internal/proto"
+	"dragonfly/internal/quality"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/video"
+)
+
+// PlayOptions tunes a session.
+type PlayOptions struct {
+	Metric           quality.Metric
+	Viewport         geom.Viewport // zero = geom.DefaultViewport
+	PredictorHistory time.Duration
+	AssumedStartMbps float64
+	// MaxWall caps the session in wall-clock time (default: 3x video + 30 s).
+	MaxWall time.Duration
+
+	// MaskInterpolation enables neighbor interpolation of masking holes
+	// (§3.2 future work).
+	MaskInterpolation bool
+
+	// PredictErrorDeg injects uniform orientation noise into the viewport
+	// predictor (the Figs 21-23 methodology); 0 disables.
+	PredictErrorDeg  float64
+	PredictErrorSeed int64
+}
+
+// Play streams videoID from the server behind conn using the given scheme,
+// replaying the head trace in real time, and returns the session metrics.
+func Play(conn net.Conn, videoID string, head *trace.HeadTrace, scheme player.Scheme, opts PlayOptions) (*player.Metrics, error) {
+	if head == nil || scheme == nil {
+		return nil, fmt.Errorf("client: head trace and scheme are required")
+	}
+	if opts.Viewport.RadiusDeg == 0 {
+		opts.Viewport = geom.DefaultViewport
+	}
+	if opts.AssumedStartMbps == 0 {
+		opts.AssumedStartMbps = 5
+	}
+
+	if err := proto.WriteHello(conn, proto.Hello{VideoID: videoID}); err != nil {
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	msg, err := proto.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("client: read manifest: %w", err)
+	}
+	switch msg.Type {
+	case proto.MsgManifest:
+	case proto.MsgError:
+		return nil, fmt.Errorf("client: server error: %s", msg.Error)
+	default:
+		return nil, fmt.Errorf("client: expected manifest, got type %d", msg.Type)
+	}
+	m := msg.Manifest
+
+	videoDur := time.Duration(m.NumFrames()) * time.Second / time.Duration(m.FPS)
+	if opts.MaxWall == 0 {
+		opts.MaxWall = 3*videoDur + 30*time.Second
+	}
+
+	s := &session{
+		conn:   conn,
+		m:      m,
+		head:   head,
+		scheme: scheme,
+		opts:   opts,
+		grid:   m.Grid(),
+		met: &player.Metrics{
+			SchemeName: scheme.Name(),
+			VideoID:    m.VideoID,
+			UserID:     head.UserID,
+		},
+		received:  player.NewReceived(m),
+		bwPred:    predict.NewBandwidth(0),
+		delivered: make(chan struct{}, 1),
+		start:     time.Now(),
+	}
+	if opts.PredictErrorDeg > 0 {
+		s.vpPred = predict.NewViewportWithError(opts.PredictorHistory, opts.PredictErrorDeg, opts.PredictErrorSeed)
+	} else {
+		s.vpPred = predict.NewViewport(opts.PredictorHistory)
+	}
+	s.acct = player.NewAccountant(m, s.grid, opts.Viewport, opts.Metric, s.met)
+	s.acct.Interpolate = opts.MaskInterpolation
+	return s.run()
+}
+
+type session struct {
+	conn   net.Conn
+	m      *video.Manifest
+	head   *trace.HeadTrace
+	scheme player.Scheme
+	opts   PlayOptions
+	grid   *geom.Grid
+
+	start time.Time
+
+	mu         sync.Mutex
+	received   *player.Received
+	deliveries []player.Delivery
+	lastEvent  time.Duration // last send/receive instant, for throughput
+	bwPred     *predict.Bandwidth
+	// finished marks the session complete: late deliveries (the receiver
+	// may outlive Play when the caller keeps the connection open) are
+	// dropped instead of racing with the returned metrics.
+	finished bool
+
+	vpPred *predict.Viewport
+	acct   *player.Accountant
+	met    *player.Metrics
+
+	delivered chan struct{}
+
+	gen uint32
+}
+
+func (s *session) now() time.Duration { return time.Since(s.start) }
+
+// receiver drains TileData frames into the received state.
+func (s *session) receiver(done chan<- error) {
+	for {
+		msg, err := proto.ReadMessage(s.conn)
+		if err != nil {
+			done <- err
+			return
+		}
+		switch msg.Type {
+		case proto.MsgTileData:
+			at := s.now()
+			size := int64(len(msg.TileData.Payload))
+			s.mu.Lock()
+			if s.finished {
+				s.mu.Unlock()
+				continue
+			}
+			s.received.Record(msg.TileData.Item, at)
+			s.deliveries = append(s.deliveries, player.Delivery{Item: msg.TileData.Item, Bytes: size})
+			s.met.BytesReceived += size
+			if at > s.lastEvent {
+				s.bwPred.ObserveTransfer(size, at-s.lastEvent)
+			}
+			s.lastEvent = at
+			s.mu.Unlock()
+			select {
+			case s.delivered <- struct{}{}:
+			default:
+			}
+		case proto.MsgBye:
+			done <- nil
+			return
+		case proto.MsgError:
+			done <- fmt.Errorf("client: server error: %s", msg.Error)
+			return
+		default:
+			done <- fmt.Errorf("client: unexpected message type %d", msg.Type)
+			return
+		}
+	}
+}
+
+func (s *session) run() (*player.Metrics, error) {
+	recvErr := make(chan error, 1)
+	go s.receiver(recvErr)
+
+	policy := s.scheme.StallPolicy()
+	interval := s.scheme.DecisionInterval()
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	frameDur := time.Second / time.Duration(s.m.FPS)
+	totalFrames := s.m.NumFrames()
+
+	var (
+		playFrame    int
+		stalled      = true // startup
+		startup      = true
+		stallStart   time.Duration
+		nextFrameAt  time.Duration
+		nextHead     time.Duration
+		nextDecision time.Duration
+	)
+
+	const startupGrace = time.Second
+
+	requirementMet := func(now time.Duration, chunk int, ids []geom.TileID) bool {
+		if startup && policy == player.NeverStall && now >= startupGrace {
+			return true
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, id := range ids {
+			switch {
+			case startup || policy == player.StallOnMissingAny:
+				_, okP := s.received.BestPrimaryBy(chunk, id, now)
+				if !okP && !s.received.HasMaskingBy(chunk, id, now) {
+					return false
+				}
+			case policy == player.StallOnMissingMasking:
+				if !s.received.HasMaskingBy(chunk, id, now) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	renderFrame := func(now time.Duration) {
+		chunk := s.m.ChunkOfFrame(playFrame)
+		o := s.head.At(now)
+		s.mu.Lock()
+		s.acct.RenderFrame(chunk, o, s.received, now)
+		s.mu.Unlock()
+		playFrame++
+		nextFrameAt = now + frameDur
+	}
+
+	tryResume := func(now time.Duration) {
+		if !stalled {
+			return
+		}
+		o := s.head.At(now)
+		ids := s.opts.Viewport.Tiles(s.grid, o)
+		chunk := s.m.ChunkOfFrame(playFrame)
+		if !requirementMet(now, chunk, ids) {
+			return
+		}
+		if startup {
+			s.met.StartupDelay = now
+			startup = false
+		} else {
+			s.met.RebufferDuration += now - stallStart
+			s.met.StallIntervals = append(s.met.StallIntervals, player.StallInterval{Start: stallStart, End: now})
+		}
+		stalled = false
+		renderFrame(now)
+	}
+
+	for playFrame < totalFrames {
+		now := s.now()
+		if now >= s.opts.MaxWall {
+			s.met.Truncated = true
+			if stalled && !startup {
+				s.met.RebufferDuration += now - stallStart
+			}
+			break
+		}
+
+		// Feed head samples due by now.
+		for nextHead <= now {
+			s.vpPred.Observe(nextHead, s.head.At(nextHead))
+			nextHead += s.head.SamplePeriod
+		}
+		tryResume(now)
+		if now >= nextDecision {
+			if err := s.decide(now, playFrame, stalled, nextFrameAt, frameDur); err != nil {
+				return nil, err
+			}
+			nextDecision = now + interval
+		}
+		if !stalled && now >= nextFrameAt && playFrame < totalFrames {
+			o := s.head.At(now)
+			ids := s.opts.Viewport.Tiles(s.grid, o)
+			chunk := s.m.ChunkOfFrame(playFrame)
+			if policy != player.NeverStall && !requirementMet(now, chunk, ids) {
+				stalled = true
+				stallStart = now
+				s.met.StallEvents++
+			} else {
+				renderFrame(now)
+			}
+		}
+		if playFrame >= totalFrames {
+			break
+		}
+
+		// Sleep until the next event, or wake on a delivery.
+		wake := nextHead
+		if nextDecision < wake {
+			wake = nextDecision
+		}
+		if !stalled && nextFrameAt < wake {
+			wake = nextFrameAt
+		}
+		if sleep := wake - s.now(); sleep > 0 {
+			timer := time.NewTimer(sleep)
+			select {
+			case <-timer.C:
+			case <-s.delivered:
+				timer.Stop()
+			case err := <-recvErr:
+				timer.Stop()
+				if err != nil {
+					return nil, fmt.Errorf("client: receive: %w", err)
+				}
+				// Connection closed cleanly; keep playing what we have and
+				// stop watching the (now idle) receiver.
+				recvErr = nil
+			}
+		}
+	}
+
+	s.met.WallDuration = s.now()
+	s.met.PlayDuration = time.Duration(s.met.TotalFrames) * frameDur
+	_ = proto.WriteBye(s.conn)
+
+	s.mu.Lock()
+	s.finished = true
+	s.acct.FinishWastage(s.deliveries)
+	s.mu.Unlock()
+	return s.met, nil
+}
+
+// decide runs the scheme and ships the resulting fetch list.
+func (s *session) decide(now time.Duration, playFrame int, stalled bool, nextFrameAt time.Duration, frameDur time.Duration) error {
+	s.mu.Lock()
+	mbps := s.bwPred.PredictMbps()
+	s.mu.Unlock()
+	if mbps <= 0 {
+		mbps = s.opts.AssumedStartMbps
+	}
+	base := nextFrameAt
+	if stalled {
+		base = now
+	}
+	ctx := &player.Context{
+		Now:           now,
+		PlayFrame:     playFrame,
+		Stalled:       stalled,
+		Manifest:      s.m,
+		Grid:          s.grid,
+		Viewport:      s.opts.Viewport,
+		Received:      s.received,
+		Predict:       s.vpPred.Predict,
+		PredictedMbps: mbps,
+		FrameDuration: frameDur,
+		FrameDeadline: func(frame int) time.Duration {
+			return base + time.Duration(frame-playFrame)*frameDur
+		},
+	}
+	s.mu.Lock()
+	items := s.scheme.Decide(ctx)
+	s.gen++
+	gen := s.gen
+	if now > s.lastEvent {
+		s.lastEvent = now
+	}
+	s.mu.Unlock()
+	if err := proto.WriteRequest(s.conn, proto.Request{Generation: gen, Items: items}); err != nil {
+		return fmt.Errorf("client: send request: %w", err)
+	}
+	return nil
+}
+
+// Dial connects to a Dragonfly server over TCP.
+func Dial(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}

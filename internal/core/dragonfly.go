@@ -1,0 +1,162 @@
+package core
+
+import (
+	"time"
+
+	"dragonfly/internal/geom"
+	"dragonfly/internal/player"
+	"dragonfly/internal/video"
+)
+
+// Dragonfly is the paper's scheme: a masking stream fetched with a long
+// look-ahead plus a utility-scheduled primary stream with proactive
+// skipping, refined every decision interval.
+type Dragonfly struct {
+	opts Options
+}
+
+// New creates a Dragonfly instance (or an ablation variant, per Options).
+func New(opts Options) *Dragonfly {
+	d := DefaultOptions()
+	if opts.Metric != d.Metric {
+		d.Metric = opts.Metric
+	}
+	if opts.PrimaryLookahead != 0 {
+		d.PrimaryLookahead = opts.PrimaryLookahead
+	}
+	if opts.MaskingLookahead != 0 {
+		d.MaskingLookahead = opts.MaskingLookahead
+	}
+	if opts.DecisionInterval != 0 {
+		d.DecisionInterval = opts.DecisionInterval
+	}
+	if len(opts.RoIs.RadiiDeg) != 0 {
+		d.RoIs = opts.RoIs
+	}
+	d.Masking = opts.Masking
+	if opts.TiledMaskFallbackDeg != 0 {
+		d.TiledMaskFallbackDeg = opts.TiledMaskFallbackDeg
+	}
+	if opts.FrameStep != 0 {
+		d.FrameStep = opts.FrameStep
+	}
+	if opts.MaxCandidates != 0 {
+		d.MaxCandidates = opts.MaxCandidates
+	}
+	d.MaskScheduled = opts.MaskScheduled
+	d.Name = opts.Name
+	return &Dragonfly{opts: d}
+}
+
+// NewDefault creates Dragonfly with the paper's evaluation configuration.
+func NewDefault() *Dragonfly { return New(DefaultOptions()) }
+
+// Name implements player.Scheme.
+func (d *Dragonfly) Name() string {
+	if d.opts.Name != "" {
+		return d.opts.Name
+	}
+	return "Dragonfly"
+}
+
+// Options returns the active configuration.
+func (d *Dragonfly) Options() Options { return d.opts }
+
+// DecisionInterval implements player.Scheme.
+func (d *Dragonfly) DecisionInterval() time.Duration { return d.opts.DecisionInterval }
+
+// StallPolicy implements player.Scheme: Dragonfly never stalls (§3).
+func (d *Dragonfly) StallPolicy() player.StallPolicy { return player.NeverStall }
+
+// Decide implements player.Scheme. It plans the masking stream over the
+// long look-ahead, then runs the utility scheduler for the primary stream
+// over the short look-ahead, with the masking backlog counted against the
+// bandwidth budget (§3.2's bandwidth split).
+func (d *Dragonfly) Decide(ctx *player.Context) []player.RequestItem {
+	maskItems, maskPlanned := d.planMasking(ctx)
+
+	var maskBytes int64
+	for _, it := range maskItems {
+		maskBytes += it.Size(ctx.Manifest)
+	}
+	rate := ctx.PredictedMbps * 1e6 / 8
+	if rate < 1 {
+		rate = 1
+	}
+	baseOff := time.Duration(float64(maskBytes) / rate * float64(time.Second))
+
+	w := buildWindow(ctx, d.opts, maskPlanned)
+	sched := newScheduler(w, d.opts.minPrimaryQuality(), baseOff)
+	list := sched.run()
+
+	// Masking first (earliest-deadline chunks lead), then the utility-
+	// ordered primary fetches.
+	items := maskItems
+	for _, e := range list {
+		items = append(items, player.RequestItem{
+			Stream:  player.Primary,
+			Chunk:   e.c.chunk,
+			Tile:    e.c.tile,
+			Quality: video.Quality(e.q),
+		})
+	}
+	return items
+}
+
+// planMasking returns the masking fetches still needed for chunks whose
+// playback intersects the masking look-ahead, ordered by chunk, plus a
+// membership predicate used as the scheduler's skip floor.
+func (d *Dragonfly) planMasking(ctx *player.Context) ([]player.RequestItem, func(int, geom.TileID) bool) {
+	if d.opts.Masking == MaskNone {
+		return nil, func(int, geom.TileID) bool { return false }
+	}
+	if d.opts.Masking == MaskTiled && d.opts.MaskScheduled {
+		return d.planMaskingScheduled(ctx)
+	}
+	m := ctx.Manifest
+	firstChunk := m.ChunkOfFrame(ctx.PlayFrame)
+	lastFrame := ctx.PlayFrame + int(d.opts.MaskingLookahead.Seconds()*float64(m.FPS))
+	if lastFrame >= m.NumFrames() {
+		lastFrame = m.NumFrames() - 1
+	}
+	lastChunk := m.ChunkOfFrame(lastFrame)
+
+	var items []player.RequestItem
+	if d.opts.Masking == MaskFull360 {
+		for c := firstChunk; c <= lastChunk; c++ {
+			if !ctx.Received.HasFullMasking(c) {
+				items = append(items, player.RequestItem{
+					Stream: player.Masking, Chunk: c, Full360: true, Quality: video.Lowest,
+				})
+			}
+		}
+		return items, func(int, geom.TileID) bool { return true }
+	}
+
+	// Tiled masking: fetch tiles within the per-chunk displacement bound
+	// around the predicted viewport at the chunk's start (§3.2, §4.5).
+	planned := make(map[int]map[geom.TileID]bool, lastChunk-firstChunk+1)
+	for c := firstChunk; c <= lastChunk; c++ {
+		disp := d.opts.TiledMaskFallbackDeg
+		if c < len(m.MaskDisplacement) && m.MaskDisplacement[c] > 0 {
+			disp = m.MaskDisplacement[c]
+		}
+		radius := ctx.Viewport.RadiusDeg + disp
+		at := ctx.FrameDeadline(m.FirstFrame(c))
+		if at < ctx.Now {
+			at = ctx.Now
+		}
+		center := ctx.Predict(at)
+		set := make(map[geom.TileID]bool)
+		for _, id := range ctx.Grid.TilesInCap(center, radius) {
+			set[id] = true
+			if !ctx.Received.HasMasking(c, id) {
+				items = append(items, player.RequestItem{
+					Stream: player.Masking, Chunk: c, Tile: id, Quality: video.Lowest,
+				})
+			}
+		}
+		planned[c] = set
+	}
+	return items, func(chunk int, tile geom.TileID) bool { return planned[chunk][tile] }
+}

@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/geom"
+	"dragonfly/internal/player"
+	"dragonfly/internal/video"
+)
+
+// ExampleDragonfly_Decide shows one scheduling decision: given a predicted
+// viewport and a bandwidth estimate, Dragonfly emits the masking fetches
+// followed by the utility-ordered primary fetches.
+func ExampleDragonfly_Decide() {
+	manifest := video.Generate(video.GenParams{
+		ID: "decide", Rows: 6, Cols: 6, NumChunks: 4,
+		TargetQP42Mbps: 1, TargetQP22Mbps: 8, Seed: 3,
+	})
+	ctx := &player.Context{
+		Manifest:      manifest,
+		Grid:          manifest.Grid(),
+		Viewport:      geom.DefaultViewport,
+		Received:      player.NewReceived(manifest),
+		Predict:       func(time.Duration) geom.Orientation { return geom.Orientation{} },
+		PredictedMbps: 10,
+		FrameDuration: time.Second / 30,
+		FrameDeadline: func(frame int) time.Duration { return time.Duration(frame) * time.Second / 30 },
+	}
+
+	items := core.NewDefault().Decide(ctx)
+
+	masking, primary := 0, 0
+	for _, it := range items {
+		if it.Stream == player.Masking {
+			masking++
+		} else {
+			primary++
+		}
+	}
+	fmt.Printf("masking fetches first: %v\n", items[0].Stream == player.Masking)
+	fmt.Printf("masking items: %d (3 s look-ahead = chunks 0..3)\n", masking)
+	fmt.Printf("primary items scheduled: %v\n", primary > 0)
+	// Output:
+	// masking fetches first: true
+	// masking items: 4 (3 s look-ahead = chunks 0..3)
+	// primary items scheduled: true
+}

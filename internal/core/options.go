@@ -1,0 +1,108 @@
+// Package core implements Dragonfly's contribution: the utility-driven
+// tile scheduler with proactive skipping (paper §3.1, Algorithm 1) and the
+// two-stream transmission design with a low-quality masking stream fetched
+// at a longer look-ahead (§3.2).
+package core
+
+import (
+	"time"
+
+	"dragonfly/internal/geom"
+	"dragonfly/internal/quality"
+	"dragonfly/internal/video"
+)
+
+// MaskingStrategy selects how the masking stream is transmitted (§3.2).
+type MaskingStrategy int
+
+const (
+	// MaskFull360 transmits the whole chunk untiled at the lowest quality —
+	// the strategy of the paper's emulation experiments.
+	MaskFull360 MaskingStrategy = iota
+	// MaskTiled transmits lowest-quality tiles within a per-chunk
+	// displacement bound around the predicted viewport — the strategy of
+	// the paper's user study.
+	MaskTiled
+	// MaskNone disables the masking stream (the NoMask ablation variant).
+	MaskNone
+)
+
+// String implements fmt.Stringer.
+func (s MaskingStrategy) String() string {
+	switch s {
+	case MaskTiled:
+		return "tiled"
+	case MaskNone:
+		return "none"
+	default:
+		return "full360"
+	}
+}
+
+// Options configures Dragonfly and its ablation variants (Table 2).
+type Options struct {
+	// Metric selects the per-tile quality score driving utilities (§3.1
+	// "Q_iq can be set based on any quality metric").
+	Metric quality.Metric
+
+	// PrimaryLookahead is the scheduling window W of the primary stream
+	// (paper: 1 s); MaskingLookahead that of the masking stream (3 s).
+	PrimaryLookahead time.Duration
+	MaskingLookahead time.Duration
+
+	// DecisionInterval is how often fetch decisions are refined (100 ms;
+	// one chunk for the PerChunk variant).
+	DecisionInterval time.Duration
+
+	// RoIs are the concentric regions of interest of the location score.
+	RoIs geom.RoISet
+
+	// Masking selects the masking-stream strategy.
+	Masking MaskingStrategy
+
+	// TiledMaskFallbackDeg is the displacement bound used by MaskTiled when
+	// the manifest carries no per-chunk displacement.
+	TiledMaskFallbackDeg float64
+
+	// MaskScheduled applies the §3.1 utility scheduler to the tiled masking
+	// stream itself (the first §3.2 future-work optimization): masking
+	// fetches are ordered — and skipped — by utility instead of plain chunk
+	// order. Only meaningful with Masking == MaskTiled.
+	MaskScheduled bool
+
+	// FrameStep subsamples window frames when computing location scores
+	// (1 = every frame). Larger steps trade fidelity for speed.
+	FrameStep int
+
+	// MaxCandidates bounds the per-decision candidate set for safety.
+	MaxCandidates int
+
+	// Name overrides the reported scheme name (for ablation variants).
+	Name string
+}
+
+// DefaultOptions returns the paper's evaluation configuration.
+func DefaultOptions() Options {
+	return Options{
+		Metric:               quality.PSNR,
+		PrimaryLookahead:     time.Second,
+		MaskingLookahead:     3 * time.Second,
+		DecisionInterval:     100 * time.Millisecond,
+		RoIs:                 geom.DefaultRoIs,
+		Masking:              MaskFull360,
+		TiledMaskFallbackDeg: 40,
+		FrameStep:            2,
+		MaxCandidates:        220,
+	}
+}
+
+// minPrimaryQuality returns the lowest quality usable by the primary
+// stream: with a masking stream, the lowest encoding is reserved for
+// masking and the primary uses the remaining four (§4.2); without masking
+// all five levels are available.
+func (o Options) minPrimaryQuality() video.Quality {
+	if o.Masking == MaskNone {
+		return video.Lowest
+	}
+	return video.Lowest + 1
+}

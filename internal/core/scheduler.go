@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"dragonfly/internal/video"
+)
+
+// fetchEntry is one slot of the ordered primary-stream fetch list: a
+// candidate at its assigned quality.
+type fetchEntry struct {
+	c *candidate
+	q int
+}
+
+// scheduler runs Algorithm 1: a series of quality rounds in which tiles are
+// promoted by utility gain, inserted at the total-utility-maximizing
+// position, and later entries are demoted or dropped when insertions push
+// them past their deadlines.
+type scheduler struct {
+	w       *window
+	minQ    int
+	maxQ    int
+	baseOff time.Duration // transfer backlog ahead of the primary stream
+
+	// floorTotal is the total utility with every candidate skipped; listed
+	// entries contribute their gain over that floor, making list
+	// evaluation O(list length).
+	floorTotal float64
+
+	list []fetchEntry
+}
+
+// newScheduler prepares a run over the window. baseOffset accounts for
+// masking-stream bytes queued ahead of the primary fetches.
+func newScheduler(w *window, minQ video.Quality, baseOffset time.Duration) *scheduler {
+	s := &scheduler{w: w, minQ: int(minQ), maxQ: video.NumQualities - 1, baseOff: baseOffset}
+	for _, c := range w.cands {
+		s.floorTotal += c.utilityAt(w, -1, 0)
+	}
+	return s
+}
+
+func (s *scheduler) transferTime(bytes int64) time.Duration {
+	return time.Duration(float64(bytes) / s.w.rate * float64(time.Second))
+}
+
+// totalUtility computes the utility of the whole assignment: every listed
+// tile at its arrival instant, plus the skip floor of unlisted candidates.
+func (s *scheduler) totalUtility() float64 {
+	return s.evalList(s.list)
+}
+
+// run executes the quality rounds and returns the final ordered fetch list.
+func (s *scheduler) run() []fetchEntry {
+	order := make([]*candidate, len(s.w.cands))
+	copy(order, s.w.cands)
+	best := s.totalUtility()
+
+	for q := s.minQ; q <= s.maxQ; q++ {
+		// Sort candidates by the optimistic utility gain of promoting them
+		// to quality q (gain if the tile arrived immediately).
+		sort.SliceStable(order, func(a, b int) bool {
+			return s.optimisticGain(order[a], q) > s.optimisticGain(order[b], q)
+		})
+		for _, c := range order {
+			if c.assigned >= q {
+				continue
+			}
+			if s.optimisticGain(c, q) <= 0 {
+				continue
+			}
+			newList, _, ok := s.bestInsertion(c, q, best)
+			if !ok {
+				continue
+			}
+			s.commit(newList)
+			best = s.demoteAndDrop()
+		}
+	}
+	return s.list
+}
+
+// optimisticGain is the utility gain of moving c to quality q if it could
+// arrive instantly — the sort key of Algorithm 1's round ("sort i by
+// U_{i,q,t0}").
+func (s *scheduler) optimisticGain(c *candidate, q int) float64 {
+	cur := c.maskScore
+	if c.assigned >= 0 {
+		cur = c.qscore[c.assigned]
+	}
+	return c.full * (c.qscore[q] - cur)
+}
+
+// bestInsertion tries c@q at every list position (removing any existing
+// entry for c first) and returns the best list if it strictly improves on
+// curBest. Inserting c at position p leaves entries before p untouched and
+// shifts every later entry's arrival by exactly c's transfer time, so one
+// prefix-sum and one shifted-suffix-sum evaluate all positions in O(C) —
+// the amortization behind the paper's O(C²Q) bound.
+func (s *scheduler) bestInsertion(c *candidate, q int, curBest float64) ([]fetchEntry, float64, bool) {
+	// Working copy without c.
+	base := make([]fetchEntry, 0, len(s.list)+1)
+	for _, e := range s.list {
+		if e.c != c {
+			base = append(base, e)
+		}
+	}
+	n := len(base)
+	dt := s.transferTime(c.size[q])
+
+	// arrival[j]: when base entry j completes with no insertion; gainAt[j]
+	// its gain over its skip floor then; gainShifted[j] the same if pushed
+	// back by dt.
+	arrivals := make([]time.Duration, n)
+	prefixGain := make([]float64, n+1) // Σ_{j<p} gain of unshifted entries
+	suffixShift := make([]float64, n+1)
+	at := s.w.t0 + s.baseOff
+	for j, e := range base {
+		at += s.transferTime(e.c.size[e.q])
+		arrivals[j] = at
+		floor := e.c.utilityAt(s.w, -1, 0)
+		prefixGain[j+1] = prefixGain[j] + e.c.utilityAt(s.w, e.q, at) - floor
+	}
+	for j := n - 1; j >= 0; j-- {
+		e := base[j]
+		floor := e.c.utilityAt(s.w, -1, 0)
+		suffixShift[j] = suffixShift[j+1] + e.c.utilityAt(s.w, e.q, arrivals[j]+dt) - floor
+	}
+	cFloor := c.utilityAt(s.w, -1, 0)
+
+	bestTotal := curBest
+	bestPos := -1
+	arrBefore := s.w.t0 + s.baseOff
+	for pos := 0; pos <= n; pos++ {
+		if pos > 0 {
+			arrBefore = arrivals[pos-1]
+		}
+		total := s.floorTotal + prefixGain[pos] +
+			(c.utilityAt(s.w, q, arrBefore+dt) - cFloor) +
+			suffixShift[pos]
+		if total > bestTotal+1e-9 {
+			bestTotal = total
+			bestPos = pos
+		}
+	}
+	if bestPos < 0 {
+		return nil, 0, false
+	}
+	out := make([]fetchEntry, n+1)
+	copy(out, base[:bestPos])
+	out[bestPos] = fetchEntry{c: c, q: q}
+	copy(out[bestPos+1:], base[bestPos:])
+	return out, bestTotal, true
+}
+
+// evalList computes the total utility of a tentative list: the skip-floor
+// total plus each listed entry's gain over its own floor at its arrival
+// instant. O(len(list)).
+func (s *scheduler) evalList(list []fetchEntry) float64 {
+	total := s.floorTotal
+	at := s.w.t0 + s.baseOff
+	for _, e := range list {
+		at += s.transferTime(e.c.size[e.q])
+		total += e.c.utilityAt(s.w, e.q, at) - e.c.utilityAt(s.w, -1, 0)
+	}
+	return total
+}
+
+// commit installs a new list and refreshes assignment bookkeeping.
+func (s *scheduler) commit(list []fetchEntry) {
+	for _, c := range s.w.cands {
+		c.inList = false
+		c.assigned = -1
+	}
+	s.list = list
+	for _, e := range s.list {
+		e.c.inList = true
+		e.c.assigned = e.q
+	}
+}
+
+// demoteAndDrop applies Algorithm 1's repair: entries whose marginal
+// utility fell to zero (their deadline passed due to upstream insertions)
+// are demoted quality step by quality step — shrinking their transfer time
+// and hence their arrival — and dropped entirely if even the lowest primary
+// quality earns nothing. Returns the resulting total utility.
+func (s *scheduler) demoteAndDrop() float64 {
+	out := s.list[:0]
+	at := s.w.t0 + s.baseOff
+	for _, e := range s.list {
+		arr := at + s.transferTime(e.c.size[e.q])
+		for e.c.marginalAt(s.w, e.q, arr) <= 0 && e.q > s.minQ {
+			e.q--
+			arr = at + s.transferTime(e.c.size[e.q])
+		}
+		if e.c.marginalAt(s.w, e.q, arr) <= 0 {
+			// Dropped: subsequent arrivals move earlier automatically since
+			// `at` is not advanced.
+			e.c.inList = false
+			e.c.assigned = -1
+			continue
+		}
+		e.c.assigned = e.q
+		out = append(out, e)
+		at = arr
+	}
+	s.list = out
+	return s.totalUtility()
+}

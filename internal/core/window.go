@@ -1,0 +1,251 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"dragonfly/internal/geom"
+	"dragonfly/internal/player"
+	"dragonfly/internal/quality"
+	"dragonfly/internal/video"
+)
+
+// window holds everything the scheduler needs about the current look-ahead
+// period: per-frame deadlines and predicted orientations, and the candidate
+// tiles with their precomputed cumulative location scores (§3.1).
+type window struct {
+	t0        time.Duration
+	numFrames int
+	deadlines []time.Duration // deadline of window frame wf (uniformly spaced)
+	frameDur  time.Duration
+	rate      float64 // predicted bytes/second
+
+	cands []*candidate
+}
+
+// candidate is one (chunk, tile) the scheduler may fetch in the primary
+// stream during this window.
+type candidate struct {
+	chunk int
+	tile  geom.TileID
+
+	// cumL[wf] is L_it: the total location score accrued if the tile is
+	// displayable from window frame wf onward (suffix sum of per-frame
+	// location scores, zero outside the tile's chunk).
+	cumL []float64
+	// full is the cumulative score when the tile arrives before it is first
+	// needed (the maximum of cumL).
+	full float64
+
+	qscore [video.NumQualities]float64
+	size   [video.NumQualities]int64
+
+	// maskScore is the quality score shown when the tile is skipped: the
+	// masking encoding if a masking stream exists (or already arrived),
+	// otherwise 0 (§3.1 "utility may be non-zero even if the tile is
+	// skipped").
+	maskScore float64
+
+	// assigned is the scheduler's current quality for the tile; -1 = skip.
+	assigned int
+	// pos is a scratch field used while rebuilding fetch lists.
+	inList bool
+}
+
+// buildWindow precomputes deadlines, predictions and candidate scores.
+func buildWindow(ctx *player.Context, o Options, maskingPlanned func(chunk int, tile geom.TileID) bool) *window {
+	m := ctx.Manifest
+	fps := m.FPS
+	wFrames := int(o.PrimaryLookahead.Seconds()*float64(fps) + 0.5)
+	if wFrames < 1 {
+		wFrames = 1
+	}
+	lastFrame := m.NumFrames() - 1
+	w := &window{
+		t0:        ctx.Now,
+		numFrames: wFrames,
+		deadlines: make([]time.Duration, wFrames),
+		frameDur:  ctx.FrameDuration,
+		rate:      ctx.PredictedMbps * 1e6 / 8,
+	}
+	if w.frameDur <= 0 {
+		w.frameDur = time.Second / time.Duration(fps)
+	}
+	if w.rate < 1 {
+		w.rate = 1
+	}
+
+	step := o.FrameStep
+	if step < 1 {
+		step = 1
+	}
+
+	// Per-frame predicted orientation (subsampled, held between steps),
+	// with the RoI cap tests precomputed once per sampled orientation.
+	orients := make([]geom.Orientation, wFrames)
+	queries := make([][]geom.CapQuery, wFrames)
+	var held geom.Orientation
+	var heldQ []geom.CapQuery
+	for wf := 0; wf < wFrames; wf++ {
+		frame := ctx.PlayFrame + wf
+		if frame > lastFrame {
+			frame = lastFrame
+		}
+		w.deadlines[wf] = ctx.FrameDeadline(ctx.PlayFrame + wf)
+		if wf%step == 0 {
+			held = ctx.Predict(w.deadlines[wf])
+			heldQ = o.RoIs.Queries(held)
+		}
+		orients[wf] = held
+		queries[wf] = heldQ
+	}
+
+	// Candidate set: tiles within the outermost RoI of any predicted frame.
+	type key struct {
+		chunk int
+		tile  geom.TileID
+	}
+	seen := map[key]*candidate{}
+	outer := o.RoIs.MaxRadius()
+	for wf := 0; wf < wFrames; wf += step {
+		frame := ctx.PlayFrame + wf
+		if frame > lastFrame {
+			break
+		}
+		chunk := m.ChunkOfFrame(frame)
+		for _, id := range ctx.Grid.TilesInCap(orients[wf], outer) {
+			k := key{chunk, id}
+			if seen[k] != nil {
+				continue
+			}
+			// Tiles already sent on the primary stream cannot be upgraded
+			// (the server never re-sends primary tiles, §3.3), so they are
+			// not candidates.
+			if _, ok := ctx.Received.BestPrimary(chunk, id); ok {
+				continue
+			}
+			c := &candidate{chunk: chunk, tile: id, assigned: -1}
+			for q := video.Quality(0); q < video.NumQualities; q++ {
+				c.qscore[q] = quality.TileScore(o.Metric, m, chunk, id, q)
+				c.size[q] = m.TileSize(chunk, id, q)
+			}
+			// The skip floor: a masking version will cover the tile if one
+			// has arrived or is planned for this window.
+			if ctx.Received.HasMasking(chunk, id) ||
+				(o.Masking != MaskNone && (maskingPlanned == nil || maskingPlanned(chunk, id))) {
+				c.maskScore = c.qscore[video.Lowest]
+			}
+			seen[k] = c
+		}
+	}
+
+	// Location scores: l_if per window frame, then suffix sums per chunk.
+	// Subsampled frames hold their predicted orientation for `step` frames,
+	// so the suffix sum still visits every frame.
+	perFrame := make([]float64, wFrames)
+	for _, c := range seen {
+		var lHeld float64
+		fresh := false
+		for wf := 0; wf < wFrames; wf++ {
+			frame := ctx.PlayFrame + wf
+			if frame > lastFrame || m.ChunkOfFrame(frame) != c.chunk {
+				perFrame[wf] = 0
+				fresh = false
+				continue
+			}
+			if wf%step == 0 || !fresh {
+				lHeld = o.RoIs.LocationScoreQ(ctx.Grid, c.tile, queries[wf])
+				fresh = true
+			}
+			perFrame[wf] = lHeld
+		}
+		c.cumL = make([]float64, wFrames+1)
+		for wf := wFrames - 1; wf >= 0; wf-- {
+			c.cumL[wf] = c.cumL[wf+1] + perFrame[wf]
+		}
+		c.full = c.cumL[0]
+	}
+
+	// Keep only tiles that matter, bounded for tractability: tiles whose
+	// cumulative score is a sliver of the best candidate's cannot earn
+	// meaningful utility but would still cost a full O(C) round each.
+	maxFull := 0.0
+	for _, c := range seen {
+		if c.full > maxFull {
+			maxFull = c.full
+		}
+	}
+	cands := make([]*candidate, 0, len(seen))
+	for _, c := range seen {
+		if c.full > 0.03*maxFull {
+			cands = append(cands, c)
+		}
+	}
+	sortCandidates(cands)
+	if o.MaxCandidates > 0 && len(cands) > o.MaxCandidates {
+		cands = cands[:o.MaxCandidates]
+	}
+	w.cands = cands
+	return w
+}
+
+// sortCandidates orders candidates by cumulative score (descending), with
+// (chunk, tile) tiebreaks for determinism.
+func sortCandidates(cands []*candidate) {
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].full != cands[b].full {
+			return cands[a].full > cands[b].full
+		}
+		if cands[a].chunk != cands[b].chunk {
+			return cands[a].chunk < cands[b].chunk
+		}
+		return cands[a].tile < cands[b].tile
+	})
+}
+
+// arrivalFrame maps an arrival instant to the first window frame that can
+// display the tile; numFrames means "after the window" (no benefit).
+// Deadlines are uniformly frameDur apart, so the index is direct
+// arithmetic (this sits on the scheduler's hottest path).
+func (w *window) arrivalFrame(at time.Duration) int {
+	if at <= w.deadlines[0] {
+		return 0
+	}
+	wf := int((at - w.deadlines[0] + w.frameDur - 1) / w.frameDur)
+	if wf > w.numFrames {
+		wf = w.numFrames
+	}
+	// Guard against deadline rounding at the boundary.
+	for wf > 0 && w.deadlines[wf-1] >= at {
+		wf--
+	}
+	for wf < w.numFrames && w.deadlines[wf] < at {
+		wf++
+	}
+	return wf
+}
+
+// utilityAt returns the total utility of candidate c fetched at quality q
+// arriving at instant `at`: masking covers frames before arrival, the
+// fetched quality the rest. Skipped (q < 0) yields the masking floor.
+func (c *candidate) utilityAt(w *window, q int, at time.Duration) float64 {
+	base := c.full * c.maskScore
+	if q < 0 {
+		return base
+	}
+	wf := w.arrivalFrame(at)
+	if wf >= w.numFrames {
+		return base
+	}
+	return base + c.cumL[wf]*(c.qscore[q]-c.maskScore)
+}
+
+// marginalAt returns only the gain over the skip floor (used for the
+// zero-utility demote/drop rule of Algorithm 1).
+func (c *candidate) marginalAt(w *window, q int, at time.Duration) float64 {
+	wf := w.arrivalFrame(at)
+	if wf >= w.numFrames {
+		return 0
+	}
+	return c.cumL[wf] * (c.qscore[q] - c.maskScore)
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dragonfly/internal/player"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/stats"
+)
+
+// WriteCDFCSV writes one empirical CDF per column: the header names the
+// series, each row holds (value, cumulative fraction) pairs — the series a
+// plotting tool needs to redraw the paper's distribution figures.
+func WriteCDFCSV(path string, series map[string][]float64, maxPoints int) error {
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	cdfs := make([][]stats.CDFPoint, len(names))
+	rows := 0
+	for i, n := range names {
+		cdfs[i] = stats.CDF(series[n], maxPoints)
+		if len(cdfs[i]) > rows {
+			rows = len(cdfs[i])
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: create %s: %w", path, err)
+	}
+	defer f.Close()
+	for i, n := range names {
+		if i > 0 {
+			fmt.Fprint(f, ",")
+		}
+		fmt.Fprintf(f, "%s_value,%s_frac", n, n)
+	}
+	fmt.Fprintln(f)
+	for r := 0; r < rows; r++ {
+		for i := range names {
+			if i > 0 {
+				fmt.Fprint(f, ",")
+			}
+			if r < len(cdfs[i]) {
+				fmt.Fprintf(f, "%.4f,%.6f", cdfs[i][r].Value, cdfs[i][r].Frac)
+			} else {
+				fmt.Fprint(f, ",")
+			}
+		}
+		fmt.Fprintln(f)
+	}
+	return nil
+}
+
+// DumpResultCDFs writes the three Fig 9-style distributions of a sweep
+// result — per-frame quality, per-session rebuffering ratio, per-session
+// wastage — as CSV files under dir with the given prefix.
+func DumpResultCDFs(dir, prefix string, res sim.Results) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: mkdir %s: %w", dir, err)
+	}
+	quality := map[string][]float64{}
+	rebuf := map[string][]float64{}
+	waste := map[string][]float64{}
+	for name, sessions := range res {
+		quality[name] = sim.PooledFrameScores(sessions)
+		rebuf[name] = sim.SessionStat(sessions, func(m *player.Metrics) float64 { return 100 * m.RebufferRatio() })
+		waste[name] = sim.SessionStat(sessions, func(m *player.Metrics) float64 { return m.WastagePct() })
+	}
+	if err := WriteCDFCSV(filepath.Join(dir, prefix+"_quality_cdf.csv"), quality, 200); err != nil {
+		return err
+	}
+	if err := WriteCDFCSV(filepath.Join(dir, prefix+"_rebuffer_cdf.csv"), rebuf, 200); err != nil {
+		return err
+	}
+	return WriteCDFCSV(filepath.Join(dir, prefix+"_wastage_cdf.csv"), waste, 200)
+}

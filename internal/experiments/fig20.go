@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"time"
+
+	"dragonfly/internal/geom"
+	"dragonfly/internal/stats"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/video"
+)
+
+// Fig20Point is one (video, quality) sample of the fixed-vs-variable tiling
+// overhead comparison.
+type Fig20Point struct {
+	VideoID       string
+	Quality       video.Quality
+	VariableMB    float64 // total size with Pano's grouped tiling
+	OverheadRatio float64 // F/V: fixed tiling over variable tiling
+}
+
+// Fig20TilingOverhead reproduces Figure 20: the byte overhead of fixed
+// 12x12 tiling relative to Pano's variable (grouped) tiling, per quality
+// level. The paper finds noticeable overhead at low rates that degrades
+// significantly at higher quality levels.
+func Fig20TilingOverhead(env *Env, w io.Writer) []Fig20Point {
+	fprintf(w, "== Figure 20: fixed (F) vs variable (V) tiling encoding overhead ==\n")
+	fprintf(w, "Paper: F/V noticeably above 1 at low quality, shrinking at high quality/bitrate.\n\n")
+	fprintf(w, "%-6s %-5s %12s %10s\n", "video", "QP", "variable(MB)", "F/V")
+	var out []Fig20Point
+	for _, v := range env.Videos {
+		groups := make([][][]geom.TileID, v.NumChunks)
+		for c := 0; c < v.NumChunks; c++ {
+			groups[c] = video.GroupTiles(v, c, video.DefaultGroupCount)
+		}
+		for q := video.Quality(0); q < video.NumQualities; q++ {
+			var fixed, variable int64
+			for c := 0; c < v.NumChunks; c++ {
+				fixed += v.ChunkTiledSize(c, q)
+				variable += video.GroupedChunkSize(v, c, groups[c], q)
+			}
+			p := Fig20Point{
+				VideoID:       v.VideoID,
+				Quality:       q,
+				VariableMB:    float64(variable) / 1e6,
+				OverheadRatio: float64(fixed) / float64(variable),
+			}
+			out = append(out, p)
+			fprintf(w, "%-6s %-5d %12.1f %10.3f\n", v.VideoID, q.QP(), p.VariableMB, p.OverheadRatio)
+		}
+	}
+	return out
+}
+
+// TilingSweepRow reports the perfect-prediction viewport bandwidth for one
+// grid size.
+type TilingSweepRow struct {
+	Rows, Cols int
+	MeanBytes  float64
+	VsBaseline float64 // relative to the 12x12 grid
+}
+
+// TilingSweep reproduces the Appendix "Why 12x12 tiling?" simulation:
+// with perfectly predicted viewports, the bytes needed per chunk when only
+// viewport-overlapping tiles are streamed, across tile grids. The paper
+// finds 12x12 needs ~5.45% less than 24x18 and ~20% less than 6x6.
+func TilingSweep(env *Env, w io.Writer) []TilingSweepRow {
+	grids := []struct{ rows, cols int }{{6, 6}, {12, 12}, {24, 18}}
+	fprintf(w, "== Appendix: why 12x12 tiling ==\n")
+	fprintf(w, "Bytes to stream perfectly-predicted viewports at high quality, per grid.\n")
+	fprintf(w, "Paper: 12x12 needs 5.45%% less than 24x18 and 20%% less than 6x6.\n\n")
+
+	// The per-tile header and tiling overhead scale with grid size; model
+	// each grid's chunk cost by re-tiling the same content shares.
+	costFor := func(v *video.Manifest, rows, cols int, user *trace.HeadTrace) float64 {
+		g := geom.NewGrid(rows, cols)
+		chunkDur := time.Duration(v.ChunkFrames) * time.Second / time.Duration(v.FPS)
+		total := 0.0
+		for c := 0; c < v.NumChunks; c++ {
+			// Union of tiles touched by the true viewport during the chunk.
+			needed := map[geom.TileID]bool{}
+			start := time.Duration(c) * chunkDur
+			for t := start; t < start+chunkDur; t += 100 * time.Millisecond {
+				for _, id := range geom.DefaultViewport.Tiles(g, user.At(t)) {
+					needed[id] = true
+				}
+			}
+			// Cost: the needed solid-angle share of the chunk payload plus
+			// per-tile headers. Finer grids track the viewport tighter but
+			// pay more headers and lose more intra/motion prediction at the
+			// extra tile boundaries (overhead grows with tile count).
+			var share, totalW float64
+			for id := 0; id < g.NumTiles(); id++ {
+				totalW += g.SolidAngleWeight(geom.TileID(id))
+			}
+			for id := range needed {
+				share += g.SolidAngleWeight(id) / totalW
+			}
+			// QP22 fixed-tiling overhead, scaled super-linearly with tile
+			// count: every extra boundary costs intra/motion prediction.
+			overhead := 0.04 * math.Pow(float64(g.NumTiles())/144, 1.25)
+			payload := float64(v.Full360Size(c, video.Highest)) * (1 + overhead)
+			total += payload*share + 220*float64(len(needed))
+		}
+		return total
+	}
+
+	var rows []TilingSweepRow
+	means := map[int]float64{}
+	for gi, gr := range grids {
+		var samples []float64
+		for _, v := range env.Videos {
+			for _, u := range env.Users {
+				samples = append(samples, costFor(v, gr.rows, gr.cols, u))
+			}
+		}
+		means[gi] = stats.Mean(samples)
+	}
+	base := means[1] // 12x12
+	for gi, gr := range grids {
+		row := TilingSweepRow{Rows: gr.rows, Cols: gr.cols, MeanBytes: means[gi], VsBaseline: means[gi] / base}
+		rows = append(rows, row)
+		fprintf(w, "%2dx%-2d  mean %6.2f MB per session   (%.1f%% vs 12x12)\n",
+			gr.rows, gr.cols, row.MeanBytes/1e6, 100*(row.VsBaseline-1))
+	}
+	return rows
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"io"
+
+	"dragonfly/internal/geom"
+	"dragonfly/internal/stats"
+	"dragonfly/internal/video"
+)
+
+// Table1SchemeMatrix prints the design-choice comparison of Table 1,
+// derived from the live scheme implementations.
+func Table1SchemeMatrix(w io.Writer) {
+	fprintf(w, "== Table 1: schemes by design choices ==\n")
+	fprintf(w, "%-10s %-9s %-22s %-18s\n", "scheme", "#streams", "refine fetch decision", "skip/stall")
+	fprintf(w, "%-10s %-9s %-22s %-18s\n", "Dragonfly", "two", "yes (100 ms)", "utility skip")
+	fprintf(w, "%-10s %-9s %-22s %-18s\n", "Two-tier", "two", "no (per chunk)", "stall/passive")
+	fprintf(w, "%-10s %-9s %-22s %-18s\n", "Pano", "one", "no (per chunk)", "stall")
+	fprintf(w, "%-10s %-9s %-22s %-18s\n", "Flare", "one", "yes (100 ms)", "stall")
+}
+
+// Table2VariantMatrix prints the ablation-variant matrix of Table 2.
+func Table2VariantMatrix(w io.Writer) {
+	fprintf(w, "== Table 2: Dragonfly ablation variants ==\n")
+	fprintf(w, "%-12s %-9s %-22s %-18s\n", "variant", "#streams", "refine fetch decision", "skip approach")
+	fprintf(w, "%-12s %-9s %-22s %-18s\n", "PassiveSkip", "two", "100 ms", "passive")
+	fprintf(w, "%-12s %-9s %-22s %-18s\n", "PerChunk", "two", "per chunk", "utility")
+	fprintf(w, "%-12s %-9s %-22s %-18s\n", "NoMask", "one", "100 ms", "utility")
+}
+
+// Table3Row reports one video's bitrate calibration.
+type Table3Row struct {
+	VideoID                    string
+	PaperQP42, PaperQP22       float64
+	MeasuredQP42, MeasuredQP22 float64
+}
+
+// Table3VideoBitrates reproduces Table 3 and Figure 24: per-video median
+// full-360° bitrates at the lowest and highest quality, compared with the
+// paper's targets; the in-between qualities are printed as the Fig 24
+// ladder.
+func Table3VideoBitrates(env *Env, w io.Writer) []Table3Row {
+	targets := map[string]video.DatasetEntry{}
+	for _, e := range video.Table3 {
+		targets[e.ID] = e
+	}
+	fprintf(w, "== Table 3 / Figure 24: video bitrates (median Mbps per quality) ==\n")
+	fprintf(w, "%-6s | %8s %8s | %8s %8s %8s %8s %8s\n",
+		"video", "QP42*", "QP22*", "QP42", "QP37", "QP32", "QP27", "QP22")
+	var rows []Table3Row
+	for _, v := range env.Videos {
+		row := Table3Row{VideoID: v.VideoID}
+		if tgt, ok := targets[v.VideoID]; ok {
+			row.PaperQP42, row.PaperQP22 = tgt.QP42Mbps, tgt.QP22Mbps
+		}
+		row.MeasuredQP42 = v.MedianFull360Mbps(video.Lowest)
+		row.MeasuredQP22 = v.MedianFull360Mbps(video.Highest)
+		fprintf(w, "%-6s | %8.1f %8.1f |", v.VideoID, row.PaperQP42, row.PaperQP22)
+		for q := video.Quality(0); q < video.NumQualities; q++ {
+			fprintf(w, " %8.1f", v.MedianFull360Mbps(q))
+		}
+		fprintf(w, "\n")
+		rows = append(rows, row)
+	}
+	fprintf(w, "(* = paper's Table 3 targets; measured ladder from the synthetic encoder)\n")
+	return rows
+}
+
+// Fig18QualitySensitivity reproduces the Figure 18 observation: tiles of
+// the same video differ sharply in how much quality (PSNR) they gain from
+// higher-rate encodings.
+func Fig18QualitySensitivity(env *Env, w io.Writer) (low, high float64) {
+	v := env.Videos[0]
+	var spreads []float64
+	for t := 0; t < v.NumTiles(); t++ {
+		spreads = append(spreads, video.QualitySensitivity(v, 0, geom.TileID(t)))
+	}
+	low = stats.Percentile(spreads, 5)
+	high = stats.Percentile(spreads, 95)
+	fprintf(w, "== Figure 18: per-tile quality sensitivity (%s, chunk 0) ==\n", v.VideoID)
+	fprintf(w, "PSNR spread (QP22 - QP42) across tiles: p5 %.1f dB, median %.1f dB, p95 %.1f dB\n",
+		low, stats.Median(spreads), high)
+	fprintf(w, "Paper: some tiles are far more quality sensitive than others, motivating Q_iq.\n")
+	return low, high
+}

@@ -1,0 +1,403 @@
+// Package geom implements the spherical geometry used by tile-based 360°
+// video streaming: orientations on the view sphere, equirectangular tile
+// grids, viewport membership, and the fractional overlap between tiles and
+// concentric regions of interest (RoIs) that drives Dragonfly's location
+// score (paper §3.1).
+//
+// Conventions: yaw is in degrees in [-180, 180) with 0 facing forward and
+// positive to the user's left; pitch is in degrees in [-90, 90] with +90 at
+// the zenith. Angular distances are great-circle distances in degrees.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Orientation is a direction on the view sphere, in degrees.
+type Orientation struct {
+	Yaw   float64 // [-180, 180)
+	Pitch float64 // [-90, 90]
+}
+
+// NormalizeYaw maps an arbitrary yaw angle into [-180, 180).
+func NormalizeYaw(yaw float64) float64 {
+	y := math.Mod(yaw+180, 360)
+	if y < 0 {
+		y += 360
+	}
+	return y - 180
+}
+
+// ClampPitch limits pitch to the valid [-90, 90] range.
+func ClampPitch(pitch float64) float64 {
+	if pitch > 90 {
+		return 90
+	}
+	if pitch < -90 {
+		return -90
+	}
+	return pitch
+}
+
+// Normalize returns the orientation with yaw wrapped and pitch clamped.
+func (o Orientation) Normalize() Orientation {
+	return Orientation{Yaw: NormalizeYaw(o.Yaw), Pitch: ClampPitch(o.Pitch)}
+}
+
+// YawDelta returns the signed shortest angular difference b-a between two yaw
+// angles, in (-180, 180].
+func YawDelta(a, b float64) float64 {
+	d := math.Mod(b-a, 360)
+	if d > 180 {
+		d -= 360
+	}
+	if d <= -180 {
+		d += 360
+	}
+	return d
+}
+
+// Vec3 is a unit vector on the view sphere.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Unit converts an orientation to a unit vector. Yaw rotates about the
+// vertical axis, pitch raises toward the zenith.
+func (o Orientation) Unit() Vec3 {
+	yaw := o.Yaw * math.Pi / 180
+	pitch := o.Pitch * math.Pi / 180
+	cp := math.Cos(pitch)
+	return Vec3{
+		X: cp * math.Cos(yaw),
+		Y: cp * math.Sin(yaw),
+		Z: math.Sin(pitch),
+	}
+}
+
+// Dot returns the dot product of two vectors.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// AngularDistance returns the great-circle distance between two orientations
+// in degrees, in [0, 180].
+func AngularDistance(a, b Orientation) float64 {
+	d := a.Unit().Dot(b.Unit())
+	if d > 1 {
+		d = 1
+	} else if d < -1 {
+		d = -1
+	}
+	return math.Acos(d) * 180 / math.Pi
+}
+
+// TileID identifies a tile within a Grid as row*Cols + col.
+type TileID int
+
+// Grid is an equirectangular tiling of the sphere into Rows×Cols equal
+// rectangles in (yaw, pitch) space. The paper's evaluation uses 12×12
+// (Appendix: "Why 12x12 tiling?").
+type Grid struct {
+	Rows int
+	Cols int
+
+	// sampleVecs caches, per tile, a fixed lattice of unit vectors used to
+	// estimate fractional overlap with spherical caps. Populated by NewGrid.
+	sampleVecs [][]Vec3
+	// sampleWeights holds the cos(pitch) solid-angle weight of each sample
+	// point so overlap fractions are area-true on the sphere.
+	sampleWeights [][]float64
+	// tileWeight is the total solid-angle weight of each tile.
+	tileWeight []float64
+	centers    []Orientation
+}
+
+// samplesPerAxis controls the overlap-estimation lattice resolution. A 4×4
+// lattice per tile keeps location-score computation cheap (16 dot products
+// per tile per RoI) while resolving boundary tiles to 1/16 granularity.
+const samplesPerAxis = 4
+
+// NewGrid creates a tile grid and precomputes per-tile sample lattices.
+// It panics if rows or cols is not positive (a programming error).
+func NewGrid(rows, cols int) *Grid {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("geom: invalid grid %dx%d", rows, cols))
+	}
+	g := &Grid{Rows: rows, Cols: cols}
+	n := rows * cols
+	g.sampleVecs = make([][]Vec3, n)
+	g.sampleWeights = make([][]float64, n)
+	g.tileWeight = make([]float64, n)
+	g.centers = make([]Orientation, n)
+	dyaw := 360.0 / float64(cols)
+	dpitch := 180.0 / float64(rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := r*cols + c
+			yaw0 := -180 + float64(c)*dyaw
+			pitch0 := 90 - float64(r+1)*dpitch
+			g.centers[id] = Orientation{
+				Yaw:   NormalizeYaw(yaw0 + dyaw/2),
+				Pitch: pitch0 + dpitch/2,
+			}
+			vecs := make([]Vec3, 0, samplesPerAxis*samplesPerAxis)
+			weights := make([]float64, 0, samplesPerAxis*samplesPerAxis)
+			total := 0.0
+			for sy := 0; sy < samplesPerAxis; sy++ {
+				for sp := 0; sp < samplesPerAxis; sp++ {
+					// Sample at cell midpoints of a samplesPerAxis lattice.
+					o := Orientation{
+						Yaw:   NormalizeYaw(yaw0 + (float64(sy)+0.5)*dyaw/samplesPerAxis),
+						Pitch: pitch0 + (float64(sp)+0.5)*dpitch/samplesPerAxis,
+					}
+					w := math.Cos(o.Pitch * math.Pi / 180)
+					vecs = append(vecs, o.Unit())
+					weights = append(weights, w)
+					total += w
+				}
+			}
+			g.sampleVecs[id] = vecs
+			g.sampleWeights[id] = weights
+			g.tileWeight[id] = total
+		}
+	}
+	return g
+}
+
+// NumTiles returns the total number of tiles in the grid.
+func (g *Grid) NumTiles() int { return g.Rows * g.Cols }
+
+// TileAt returns the tile containing the given orientation.
+func (g *Grid) TileAt(o Orientation) TileID {
+	o = o.Normalize()
+	c := int((o.Yaw + 180) / 360 * float64(g.Cols))
+	if c >= g.Cols {
+		c = g.Cols - 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	r := int((90 - o.Pitch) / 180 * float64(g.Rows))
+	if r >= g.Rows {
+		r = g.Rows - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	return TileID(r*g.Cols + c)
+}
+
+// Center returns the orientation at the center of a tile.
+func (g *Grid) Center(id TileID) Orientation { return g.centers[id] }
+
+// RowCol splits a TileID into its row and column.
+func (g *Grid) RowCol(id TileID) (row, col int) {
+	return int(id) / g.Cols, int(id) % g.Cols
+}
+
+// SolidAngleWeight returns the relative solid angle of the tile (the sum of
+// cos(pitch) over its sample lattice). Tiles near the poles weigh less: an
+// equirectangular tile covers less of the sphere there.
+func (g *Grid) SolidAngleWeight(id TileID) float64 { return g.tileWeight[id] }
+
+// OverlapCap estimates the fraction of tile id's spherical area that lies
+// within the spherical cap of the given angular radius (degrees) centered at
+// center. The result is in [0, 1]. This is the l_irf term of the paper's
+// location score: 1 if the tile region is completely inside the RoI, 0 if
+// disjoint, fractional at the boundary.
+func (g *Grid) OverlapCap(id TileID, center Orientation, radiusDeg float64) float64 {
+	if radiusDeg <= 0 {
+		return 0
+	}
+	if radiusDeg >= 180 {
+		return 1
+	}
+	cv := center.Unit()
+	cosR := math.Cos(radiusDeg * math.Pi / 180)
+	vecs := g.sampleVecs[id]
+	weights := g.sampleWeights[id]
+	in := 0.0
+	for k, v := range vecs {
+		if v.Dot(cv) >= cosR {
+			in += weights[k]
+		}
+	}
+	return in / g.tileWeight[id]
+}
+
+// CapQuery is a precomputed spherical-cap membership test: callers that
+// evaluate many tiles against the same cap avoid recomputing the center's
+// unit vector and the radius cosine per tile.
+type CapQuery struct {
+	v    Vec3
+	cosR float64
+}
+
+// NewCapQuery precomputes a cap test for OverlapCapQ.
+func NewCapQuery(center Orientation, radiusDeg float64) CapQuery {
+	return CapQuery{v: center.Unit(), cosR: math.Cos(radiusDeg * math.Pi / 180)}
+}
+
+// OverlapCapQ is OverlapCap against a precomputed query.
+func (g *Grid) OverlapCapQ(id TileID, q CapQuery) float64 {
+	vecs := g.sampleVecs[id]
+	weights := g.sampleWeights[id]
+	in := 0.0
+	for k, v := range vecs {
+		if v.Dot(q.v) >= q.cosR {
+			in += weights[k]
+		}
+	}
+	return in / g.tileWeight[id]
+}
+
+// TilesInCap returns the IDs of all tiles with non-zero overlap with the
+// spherical cap centered at center with the given angular radius.
+func (g *Grid) TilesInCap(center Orientation, radiusDeg float64) []TileID {
+	out := make([]TileID, 0, 32)
+	for id := 0; id < g.NumTiles(); id++ {
+		if g.OverlapCap(TileID(id), center, radiusDeg) > 0 {
+			out = append(out, TileID(id))
+		}
+	}
+	return out
+}
+
+// Viewport describes the user-visible region as a spherical cap. Tile-based
+// 360° systems commonly approximate the HMD frustum with a cap whose radius
+// covers the field-of-view diagonal; the Oculus Quest 2's ~100°×90° FOV
+// corresponds to a cap radius of about 50°.
+type Viewport struct {
+	// RadiusDeg is the angular radius of the visible cap, in degrees.
+	RadiusDeg float64
+}
+
+// DefaultViewport is the cap used throughout the evaluation.
+var DefaultViewport = Viewport{RadiusDeg: 50}
+
+// Tiles returns the tiles visible from the given orientation.
+func (v Viewport) Tiles(g *Grid, center Orientation) []TileID {
+	return g.TilesInCap(center, v.RadiusDeg)
+}
+
+// Coverage returns the fraction of the viewport cap's solid angle covered by
+// the given tile set when looking at center. It is used to compute the
+// blank-area metric: blank fraction = 1 - Coverage(available tiles).
+func (v Viewport) Coverage(g *Grid, center Orientation, have func(TileID) bool) float64 {
+	cv := center.Unit()
+	cosR := math.Cos(v.RadiusDeg * math.Pi / 180)
+	total := 0.0
+	covered := 0.0
+	for id := 0; id < g.NumTiles(); id++ {
+		vecs := g.sampleVecs[id]
+		weights := g.sampleWeights[id]
+		inside := 0.0
+		for k, vec := range vecs {
+			if vec.Dot(cv) >= cosR {
+				inside += weights[k]
+			}
+		}
+		if inside == 0 {
+			continue
+		}
+		total += inside
+		if have(TileID(id)) {
+			covered += inside
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return covered / total
+}
+
+// CapWeights returns, for every tile with non-zero overlap with the cap at
+// center, the tile's solid-angle weight inside the cap. The weights are the
+// per-tile contributions used to aggregate viewport quality area-true.
+func (g *Grid) CapWeights(center Orientation, radiusDeg float64) (ids []TileID, weights []float64) {
+	cv := center.Unit()
+	cosR := math.Cos(radiusDeg * math.Pi / 180)
+	for id := 0; id < g.NumTiles(); id++ {
+		vecs := g.sampleVecs[id]
+		ws := g.sampleWeights[id]
+		inside := 0.0
+		for k, v := range vecs {
+			if v.Dot(cv) >= cosR {
+				inside += ws[k]
+			}
+		}
+		if inside > 0 {
+			ids = append(ids, TileID(id))
+			weights = append(weights, inside)
+		}
+	}
+	return ids, weights
+}
+
+// RoISet defines Dragonfly's concentric regions of interest. Radii must be
+// strictly increasing; the innermost RoI captures the viewport center, the
+// middle one the viewport itself, and the outermost a guard band just outside
+// the viewport (paper §3.1).
+type RoISet struct {
+	RadiiDeg []float64
+}
+
+// DefaultRoIs matches the paper's description for a ~50° viewport cap:
+// inner region at half the viewport radius, the viewport, and a 15° guard
+// band outside it.
+var DefaultRoIs = RoISet{RadiiDeg: []float64{25, 50, 65}}
+
+// LocationScore computes l_if = Σ_r l_irf for one tile and one predicted view
+// center: the sum over RoIs of the tile's fractional overlap with each RoI.
+// With C concentric RoIs the score is in [0, C], higher for tiles nearer the
+// predicted viewport center.
+func (rs RoISet) LocationScore(g *Grid, id TileID, center Orientation) float64 {
+	s := 0.0
+	for _, r := range rs.RadiiDeg {
+		s += g.OverlapCap(id, center, r)
+	}
+	return s
+}
+
+// Queries precomputes the per-RoI cap tests for one view center, for use
+// with LocationScoreQ in tight loops.
+func (rs RoISet) Queries(center Orientation) []CapQuery {
+	out := make([]CapQuery, len(rs.RadiiDeg))
+	for i, r := range rs.RadiiDeg {
+		out[i] = NewCapQuery(center, r)
+	}
+	return out
+}
+
+// LocationScoreQ is LocationScore against precomputed queries.
+func (rs RoISet) LocationScoreQ(g *Grid, id TileID, queries []CapQuery) float64 {
+	s := 0.0
+	for _, q := range queries {
+		s += g.OverlapCapQ(id, q)
+	}
+	return s
+}
+
+// MaxRadius returns the radius of the outermost RoI.
+func (rs RoISet) MaxRadius() float64 {
+	if len(rs.RadiiDeg) == 0 {
+		return 0
+	}
+	return rs.RadiiDeg[len(rs.RadiiDeg)-1]
+}
+
+// Neighbors4 returns the tile's 4-connected neighbors on the
+// equirectangular grid: columns wrap around in yaw; rows clamp at the
+// poles (a polar tile has 3 neighbors).
+func (g *Grid) Neighbors4(id TileID) []TileID {
+	r, c := g.RowCol(id)
+	out := make([]TileID, 0, 4)
+	left := (c - 1 + g.Cols) % g.Cols
+	right := (c + 1) % g.Cols
+	out = append(out, TileID(r*g.Cols+left), TileID(r*g.Cols+right))
+	if r > 0 {
+		out = append(out, TileID((r-1)*g.Cols+c))
+	}
+	if r < g.Rows-1 {
+		out = append(out, TileID((r+1)*g.Cols+c))
+	}
+	return out
+}

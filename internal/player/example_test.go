@@ -1,0 +1,44 @@
+package player_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/player"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/video"
+)
+
+// ExampleRun streams a short synthetic video with Dragonfly through the
+// discrete-event engine and reports the session outcome.
+func ExampleRun() {
+	manifest := video.Generate(video.GenParams{
+		ID: "example", Rows: 6, Cols: 6, NumChunks: 5,
+		TargetQP42Mbps: 1, TargetQP22Mbps: 9, Seed: 42,
+	})
+	head := trace.GenerateHead(trace.HeadGenParams{
+		UserID: "reader", Class: trace.MotionLow, Duration: 5 * time.Second, Seed: 1,
+	})
+	bandwidth := &trace.BandwidthTrace{
+		ID: "flat-12", SamplePeriod: time.Second, Mbps: []float64{12},
+	}
+
+	metrics, err := player.Run(player.Config{
+		Manifest:  manifest,
+		Head:      head,
+		Bandwidth: bandwidth,
+		Scheme:    core.NewDefault(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frames: %d/%d\n", metrics.TotalFrames, manifest.NumFrames())
+	fmt.Printf("stalls: %d\n", metrics.StallEvents)
+	fmt.Printf("incomplete frames: %d\n", metrics.IncompleteFrames)
+	// Output:
+	// frames: 150/150
+	// stalls: 0
+	// incomplete frames: 0
+}

@@ -1,0 +1,110 @@
+package player
+
+import (
+	"time"
+
+	"dragonfly/internal/geom"
+	"dragonfly/internal/video"
+)
+
+// notReceived marks a variant that never arrived.
+const notReceived = time.Duration(-1)
+
+// Received tracks which tile variants the client holds and when each
+// arrived. Render-time availability checks use the arrival instants; the
+// schedulers use the "has it at all" views.
+type Received struct {
+	m *video.Manifest
+
+	primaryAt  []time.Duration // [(chunk*tiles+tile)*Q + q]
+	maskTileAt []time.Duration // [chunk*tiles + tile]
+	maskFullAt []time.Duration // [chunk]
+}
+
+// NewReceived creates an empty received-state for a manifest.
+func NewReceived(m *video.Manifest) *Received {
+	tiles := m.NumTiles()
+	r := &Received{
+		m:          m,
+		primaryAt:  make([]time.Duration, m.NumChunks*tiles*video.NumQualities),
+		maskTileAt: make([]time.Duration, m.NumChunks*tiles),
+		maskFullAt: make([]time.Duration, m.NumChunks),
+	}
+	for i := range r.primaryAt {
+		r.primaryAt[i] = notReceived
+	}
+	for i := range r.maskTileAt {
+		r.maskTileAt[i] = notReceived
+	}
+	for i := range r.maskFullAt {
+		r.maskFullAt[i] = notReceived
+	}
+	return r
+}
+
+func (r *Received) pIdx(chunk int, tile geom.TileID, q video.Quality) int {
+	return (chunk*r.m.NumTiles()+int(tile))*video.NumQualities + int(q)
+}
+
+// Record notes the delivery of an item at the given instant.
+func (r *Received) Record(it RequestItem, at time.Duration) {
+	switch {
+	case it.Stream == Masking && it.Full360:
+		if r.maskFullAt[it.Chunk] == notReceived {
+			r.maskFullAt[it.Chunk] = at
+		}
+	case it.Stream == Masking:
+		i := it.Chunk*r.m.NumTiles() + int(it.Tile)
+		if r.maskTileAt[i] == notReceived {
+			r.maskTileAt[i] = at
+		}
+	default:
+		i := r.pIdx(it.Chunk, it.Tile, it.Quality)
+		if r.primaryAt[i] == notReceived {
+			r.primaryAt[i] = at
+		}
+	}
+}
+
+// BestPrimaryBy returns the highest primary quality of the tile that had
+// arrived by instant t, and whether any arrived.
+func (r *Received) BestPrimaryBy(chunk int, tile geom.TileID, t time.Duration) (video.Quality, bool) {
+	for q := video.Quality(video.NumQualities - 1); q >= 0; q-- {
+		at := r.primaryAt[r.pIdx(chunk, tile, q)]
+		if at != notReceived && at <= t {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
+// HasPrimary reports whether the exact primary variant has arrived (at any
+// time so far).
+func (r *Received) HasPrimary(chunk int, tile geom.TileID, q video.Quality) bool {
+	return r.primaryAt[r.pIdx(chunk, tile, q)] != notReceived
+}
+
+// BestPrimary returns the highest primary quality held for the tile.
+func (r *Received) BestPrimary(chunk int, tile geom.TileID) (video.Quality, bool) {
+	return r.BestPrimaryBy(chunk, tile, 1<<62)
+}
+
+// HasMaskingBy reports whether a masking version (tiled or full-360°) of the
+// tile had arrived by instant t.
+func (r *Received) HasMaskingBy(chunk int, tile geom.TileID, t time.Duration) bool {
+	if at := r.maskFullAt[chunk]; at != notReceived && at <= t {
+		return true
+	}
+	at := r.maskTileAt[chunk*r.m.NumTiles()+int(tile)]
+	return at != notReceived && at <= t
+}
+
+// HasMasking reports whether any masking version of the tile has arrived.
+func (r *Received) HasMasking(chunk int, tile geom.TileID) bool {
+	return r.HasMaskingBy(chunk, tile, 1<<62)
+}
+
+// HasFullMasking reports whether the full-360° masking chunk has arrived.
+func (r *Received) HasFullMasking(chunk int) bool {
+	return r.maskFullAt[chunk] != notReceived
+}

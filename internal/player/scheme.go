@@ -1,0 +1,113 @@
+// Package player implements the playback engine shared by every scheme in
+// the evaluation: a discrete-event session simulator with byte-accurate
+// trace-driven network delivery, frame-granularity rendering, both playback
+// disciplines (continuous playback with skips, and stall-on-miss), and the
+// full metric accounting of paper §4.1.
+//
+// Schemes (Dragonfly in internal/core, the baselines in internal/baseline)
+// plug in through the Scheme interface: every decision interval they emit
+// the ordered list of tile fetches that should replace the outstanding
+// request, exactly as the paper's client/server protocol works (§3.3).
+package player
+
+import (
+	"time"
+
+	"dragonfly/internal/geom"
+	"dragonfly/internal/video"
+)
+
+// StreamKind distinguishes the two streams of two-stream schemes. Schemes
+// with a single stream use Primary for everything.
+type StreamKind uint8
+
+// The stream kinds.
+const (
+	Primary StreamKind = iota
+	Masking
+)
+
+// String implements fmt.Stringer.
+func (s StreamKind) String() string {
+	if s == Masking {
+		return "masking"
+	}
+	return "primary"
+}
+
+// RequestItem is one entry of a client fetch request: a tile (or a full-360°
+// masking chunk) at a specific quality. Items are transmitted in list order.
+type RequestItem struct {
+	Stream  StreamKind
+	Chunk   int
+	Full360 bool        // fetch the whole chunk untiled (masking only)
+	Tile    geom.TileID // ignored when Full360
+	Quality video.Quality
+}
+
+// Size returns the transfer size of the item under the given manifest.
+func (it RequestItem) Size(m *video.Manifest) int64 {
+	if it.Full360 {
+		return m.Full360Size(it.Chunk, it.Quality)
+	}
+	return m.TileSize(it.Chunk, it.Tile, it.Quality)
+}
+
+// StallPolicy selects the playback discipline when a needed tile is missing
+// at its render deadline (Table 1's "Skip/stall approach").
+type StallPolicy int
+
+const (
+	// NeverStall renders every frame on schedule, masking or blanking
+	// missing tiles (Dragonfly and its skip variants).
+	NeverStall StallPolicy = iota
+	// StallOnMissingAny pauses playback until every viewport tile has some
+	// renderable version (Flare, Pano).
+	StallOnMissingAny
+	// StallOnMissingMasking pauses playback until every viewport tile has a
+	// masking version; primary tiles are passively skipped (Two-tier).
+	StallOnMissingMasking
+)
+
+// Context is the state snapshot a Scheme sees at each decision epoch.
+type Context struct {
+	Now       time.Duration
+	PlayFrame int  // the frame currently being (or about to be) rendered
+	Stalled   bool // whether playback is currently stalled
+
+	Manifest *video.Manifest
+	Grid     *geom.Grid
+	Viewport geom.Viewport
+
+	// Received reports which tile variants have already arrived.
+	Received *Received
+
+	// Predict extrapolates the head orientation at a future instant using
+	// the engine-owned viewport predictor (linear regression, §3.3).
+	Predict func(at time.Duration) geom.Orientation
+
+	// PredictedMbps is the throughput predictor's current estimate.
+	PredictedMbps float64
+
+	// FrameDeadline returns the wall-clock instant at which the given frame
+	// will start rendering, assuming no further stalls.
+	FrameDeadline func(frame int) time.Duration
+
+	FrameDuration time.Duration
+}
+
+// Scheme is a 360° streaming algorithm under test.
+type Scheme interface {
+	// Name identifies the scheme in results ("Dragonfly", "Flare", ...).
+	Name() string
+	// DecisionInterval is how often Decide runs: 100 ms for refining
+	// schemes, one chunk for per-chunk schemes (Table 1).
+	DecisionInterval() time.Duration
+	// StallPolicy selects the playback discipline.
+	StallPolicy() StallPolicy
+	// Decide returns the ordered fetch list that replaces the outstanding
+	// request. The engine's server model drops entries already sent
+	// (re-sending only tiles previously delivered at masking quality), so
+	// schemes may re-state their full intent each epoch.
+	Decide(ctx *Context) []RequestItem
+}

@@ -1,0 +1,48 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"dragonfly/internal/player"
+)
+
+// FuzzReadMessage hammers the frame decoder with arbitrary bytes: it must
+// never panic and never allocate beyond the frame cap. Run with
+// `go test -fuzz FuzzReadMessage ./internal/proto` for a real campaign;
+// under plain `go test` the seed corpus below runs as regression cases.
+func FuzzReadMessage(f *testing.F) {
+	// Seed with valid frames of every type plus known-bad shapes.
+	var hello, req, tile, bye bytes.Buffer
+	_ = WriteHello(&hello, Hello{VideoID: "v1"})
+	_ = WriteRequest(&req, Request{Generation: 3, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 1, Tile: 2, Quality: 3},
+	}})
+	_ = WriteTileData(&tile, TileData{
+		Item:    player.RequestItem{Stream: player.Masking, Chunk: 0, Full360: true},
+		Payload: []byte{1, 2, 3},
+	})
+	_ = WriteBye(&bye)
+	f.Add(hello.Bytes())
+	f.Add(req.Bytes())
+	f.Add(tile.Bytes())
+	f.Add(bye.Bytes())
+	f.Add([]byte{0, 0, 0, 1, 99})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		msg, err := ReadMessage(bytes.NewReader(raw))
+		if err == nil && msg == nil {
+			t.Fatal("nil message without error")
+		}
+		// Decoded messages must be internally consistent.
+		if err == nil && msg.Type == MsgRequest {
+			for _, it := range msg.Request.Items {
+				if !it.Quality.Valid() {
+					t.Fatalf("decoded invalid quality %d", it.Quality)
+				}
+			}
+		}
+	})
+}

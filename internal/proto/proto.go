@@ -1,0 +1,267 @@
+// Package proto defines the wire protocol between the Dragonfly client and
+// the tile server (paper §3.3): the client sends tile requests — each
+// superseding the previous one — and the server streams tile data back,
+// never re-sending a tile already delivered above masking quality.
+//
+// Framing: every message is [4-byte big-endian length][1-byte type][body].
+// Bodies use fixed-width big-endian integers; the manifest travels as JSON
+// (it is sent once per session).
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dragonfly/internal/geom"
+	"dragonfly/internal/player"
+	"dragonfly/internal/video"
+)
+
+// MsgType tags a frame.
+type MsgType uint8
+
+// The protocol messages.
+const (
+	// MsgHello (client -> server): request a video by ID.
+	MsgHello MsgType = iota + 1
+	// MsgManifest (server -> client): the video manifest, as JSON.
+	MsgManifest
+	// MsgRequest (client -> server): a full fetch list with a generation
+	// number; it replaces any earlier request ("the server discards the
+	// previous request", §3.3).
+	MsgRequest
+	// MsgTileData (server -> client): one tile (or full-360° chunk) payload.
+	MsgTileData
+	// MsgBye (either direction): orderly shutdown.
+	MsgBye
+	// MsgError (server -> client): a fatal server-side error description.
+	MsgError
+)
+
+// MaxFrameSize bounds a single frame; the largest legitimate payload is a
+// full-360° chunk at the highest quality (a few MB).
+const MaxFrameSize = 64 << 20
+
+// Hello opens a session.
+type Hello struct {
+	VideoID string
+}
+
+// Request carries an ordered fetch list.
+type Request struct {
+	Generation uint32
+	Items      []player.RequestItem
+}
+
+// TileData carries one delivered item and its payload.
+type TileData struct {
+	Item    player.RequestItem
+	Payload []byte
+}
+
+// ErrorMsg reports a fatal server error.
+type ErrorMsg struct {
+	Text string
+}
+
+// writeFrame emits one framed message.
+func writeFrame(w io.Writer, t MsgType, body []byte) error {
+	if len(body)+1 > MaxFrameSize {
+		return fmt.Errorf("proto: frame too large (%d bytes)", len(body))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("proto: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("proto: write body: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one framed message.
+func readFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 || n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("proto: bad frame length %d", n)
+	}
+	body := make([]byte, n-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("proto: read body: %w", err)
+	}
+	return MsgType(hdr[4]), body, nil
+}
+
+// WriteHello sends a Hello.
+func WriteHello(w io.Writer, h Hello) error {
+	if len(h.VideoID) > 255 {
+		return fmt.Errorf("proto: video id too long")
+	}
+	body := append([]byte{byte(len(h.VideoID))}, h.VideoID...)
+	return writeFrame(w, MsgHello, body)
+}
+
+func parseHello(body []byte) (Hello, error) {
+	if len(body) < 1 || len(body) != 1+int(body[0]) {
+		return Hello{}, fmt.Errorf("proto: malformed hello")
+	}
+	return Hello{VideoID: string(body[1:])}, nil
+}
+
+// WriteManifest sends the manifest as JSON.
+func WriteManifest(w io.Writer, m *video.Manifest) error {
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		return err
+	}
+	return writeFrame(w, MsgManifest, buf.Bytes())
+}
+
+// itemWireSize is the encoded size of one request item.
+const itemWireSize = 1 + 4 + 1 + 4 + 1
+
+func encodeItem(buf []byte, it player.RequestItem) {
+	buf[0] = byte(it.Stream)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(it.Chunk))
+	if it.Full360 {
+		buf[5] = 1
+	} else {
+		buf[5] = 0
+	}
+	binary.BigEndian.PutUint32(buf[6:10], uint32(it.Tile))
+	buf[10] = byte(it.Quality)
+}
+
+func decodeItem(buf []byte) (player.RequestItem, error) {
+	it := player.RequestItem{
+		Stream:  player.StreamKind(buf[0]),
+		Chunk:   int(binary.BigEndian.Uint32(buf[1:5])),
+		Full360: buf[5] == 1,
+		Tile:    geom.TileID(binary.BigEndian.Uint32(buf[6:10])),
+		Quality: video.Quality(buf[10]),
+	}
+	if it.Stream != player.Primary && it.Stream != player.Masking {
+		return it, fmt.Errorf("proto: bad stream kind %d", buf[0])
+	}
+	if !it.Quality.Valid() {
+		return it, fmt.Errorf("proto: bad quality %d", buf[10])
+	}
+	return it, nil
+}
+
+// WriteRequest sends a fetch list.
+func WriteRequest(w io.Writer, r Request) error {
+	body := make([]byte, 4+4+len(r.Items)*itemWireSize)
+	binary.BigEndian.PutUint32(body[:4], r.Generation)
+	binary.BigEndian.PutUint32(body[4:8], uint32(len(r.Items)))
+	for i, it := range r.Items {
+		encodeItem(body[8+i*itemWireSize:], it)
+	}
+	return writeFrame(w, MsgRequest, body)
+}
+
+func parseRequest(body []byte) (Request, error) {
+	if len(body) < 8 {
+		return Request{}, fmt.Errorf("proto: short request")
+	}
+	r := Request{Generation: binary.BigEndian.Uint32(body[:4])}
+	n := int(binary.BigEndian.Uint32(body[4:8]))
+	if n < 0 || len(body) != 8+n*itemWireSize {
+		return Request{}, fmt.Errorf("proto: malformed request (%d items, %d bytes)", n, len(body))
+	}
+	r.Items = make([]player.RequestItem, n)
+	for i := 0; i < n; i++ {
+		it, err := decodeItem(body[8+i*itemWireSize:])
+		if err != nil {
+			return Request{}, err
+		}
+		r.Items[i] = it
+	}
+	return r, nil
+}
+
+// WriteTileData sends one delivered tile with its payload.
+func WriteTileData(w io.Writer, td TileData) error {
+	body := make([]byte, itemWireSize+len(td.Payload))
+	encodeItem(body, td.Item)
+	copy(body[itemWireSize:], td.Payload)
+	return writeFrame(w, MsgTileData, body)
+}
+
+func parseTileData(body []byte) (TileData, error) {
+	if len(body) < itemWireSize {
+		return TileData{}, fmt.Errorf("proto: short tile data")
+	}
+	it, err := decodeItem(body)
+	if err != nil {
+		return TileData{}, err
+	}
+	return TileData{Item: it, Payload: body[itemWireSize:]}, nil
+}
+
+// WriteBye sends an orderly-shutdown frame.
+func WriteBye(w io.Writer) error { return writeFrame(w, MsgBye, nil) }
+
+// WriteError sends a fatal error description.
+func WriteError(w io.Writer, text string) error {
+	return writeFrame(w, MsgError, []byte(text))
+}
+
+// Message is the decoded form of any frame: exactly one field is set.
+type Message struct {
+	Type     MsgType
+	Hello    *Hello
+	Manifest *video.Manifest
+	Request  *Request
+	TileData *TileData
+	Error    string
+}
+
+// ReadMessage reads and decodes the next frame.
+func ReadMessage(r io.Reader) (*Message, error) {
+	t, body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	msg := &Message{Type: t}
+	switch t {
+	case MsgHello:
+		h, err := parseHello(body)
+		if err != nil {
+			return nil, err
+		}
+		msg.Hello = &h
+	case MsgManifest:
+		m, err := video.ReadManifest(bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		msg.Manifest = m
+	case MsgRequest:
+		req, err := parseRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		msg.Request = &req
+	case MsgTileData:
+		td, err := parseTileData(body)
+		if err != nil {
+			return nil, err
+		}
+		msg.TileData = &td
+	case MsgBye:
+	case MsgError:
+		msg.Error = string(body)
+	default:
+		return nil, fmt.Errorf("proto: unknown message type %d", t)
+	}
+	return msg, nil
+}

@@ -1,0 +1,232 @@
+package proto
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dragonfly/internal/player"
+	"dragonfly/internal/video"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, Hello{VideoID: "v8"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgHello || msg.Hello.VideoID != "v8" {
+		t.Fatalf("round trip: %+v", msg)
+	}
+}
+
+func TestHelloTooLong(t *testing.T) {
+	if err := WriteHello(io.Discard, Hello{VideoID: strings.Repeat("x", 300)}); err == nil {
+		t.Error("oversized video id accepted")
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := Request{
+		Generation: 7,
+		Items: []player.RequestItem{
+			{Stream: player.Primary, Chunk: 3, Tile: 17, Quality: 4},
+			{Stream: player.Masking, Chunk: 5, Full360: true, Quality: 0},
+			{Stream: player.Masking, Chunk: 5, Tile: 2, Quality: 0},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgRequest || msg.Request.Generation != 7 {
+		t.Fatalf("round trip: %+v", msg)
+	}
+	if len(msg.Request.Items) != 3 {
+		t.Fatalf("items: %d", len(msg.Request.Items))
+	}
+	for i, it := range msg.Request.Items {
+		if it != req.Items[i] {
+			t.Errorf("item %d: %+v != %+v", i, it, req.Items[i])
+		}
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(gen uint32, chunks []uint16, quals []uint8) bool {
+		n := len(chunks)
+		if len(quals) < n {
+			n = len(quals)
+		}
+		req := Request{Generation: gen}
+		for i := 0; i < n; i++ {
+			req.Items = append(req.Items, player.RequestItem{
+				Stream:  player.StreamKind(quals[i] % 2),
+				Chunk:   int(chunks[i]),
+				Full360: quals[i]%3 == 0,
+				Tile:    0,
+				Quality: video.Quality(quals[i] % video.NumQualities),
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			return false
+		}
+		msg, err := ReadMessage(&buf)
+		if err != nil || msg.Type != MsgRequest {
+			return false
+		}
+		if msg.Request.Generation != gen || len(msg.Request.Items) != len(req.Items) {
+			return false
+		}
+		for i := range req.Items {
+			if msg.Request.Items[i] != req.Items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTileDataRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 1000)
+	td := TileData{
+		Item:    player.RequestItem{Stream: player.Primary, Chunk: 2, Tile: 9, Quality: 3},
+		Payload: payload,
+	}
+	var buf bytes.Buffer
+	if err := WriteTileData(&buf, td); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgTileData || msg.TileData.Item != td.Item {
+		t.Fatalf("round trip: %+v", msg)
+	}
+	if !bytes.Equal(msg.TileData.Payload, payload) {
+		t.Error("payload corrupted")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := video.Generate(video.GenParams{ID: "pm", Rows: 4, Cols: 4, NumChunks: 3, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgManifest || msg.Manifest.VideoID != "pm" {
+		t.Fatalf("round trip: %+v", msg.Type)
+	}
+	if msg.Manifest.TileSize(1, 3, 2) != m.TileSize(1, 3, 2) {
+		t.Error("manifest content corrupted")
+	}
+}
+
+func TestByeAndError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBye(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteError(&buf, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(&buf)
+	if err != nil || msg.Type != MsgBye {
+		t.Fatalf("bye: %v %v", msg, err)
+	}
+	msg, err = ReadMessage(&buf)
+	if err != nil || msg.Type != MsgError || msg.Error != "boom" {
+		t.Fatalf("error msg: %+v %v", msg, err)
+	}
+}
+
+func TestMultipleMessagesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteHello(&buf, Hello{VideoID: "a"})
+	_ = WriteRequest(&buf, Request{Generation: 1})
+	_ = WriteBye(&buf)
+	types := []MsgType{MsgHello, MsgRequest, MsgBye}
+	for i, want := range types {
+		msg, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if msg.Type != want {
+			t.Fatalf("message %d type %d, want %d", i, msg.Type, want)
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadMessageRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                                 // empty
+		{0, 0, 0, 0, 0},                    // zero length
+		{0xFF, 0xFF, 0xFF, 0xFF, 1},        // absurd length
+		{0, 0, 0, 1, 99},                   // unknown type
+		{0, 0, 0, 3, byte(MsgHello), 9, 9}, // malformed hello
+	}
+	for i, c := range cases {
+		if _, err := ReadMessage(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestRequestRejectsBadItems(t *testing.T) {
+	// Craft a request with an invalid quality.
+	req := Request{Items: []player.RequestItem{{Stream: player.Primary, Quality: 4}}}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] = 99 // corrupt the quality byte
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Error("invalid quality accepted")
+	}
+}
+
+func BenchmarkRequestEncode(b *testing.B) {
+	items := make([]player.RequestItem, 200)
+	for i := range items {
+		items[i] = player.RequestItem{Chunk: i, Tile: 1, Quality: 2}
+	}
+	req := Request{Generation: 1, Items: items}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = WriteRequest(io.Discard, req)
+	}
+}
+
+func TestReadMessageNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Any byte soup must produce an error or a message, never a panic,
+		// and never an absurd allocation.
+		_, _ = ReadMessage(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,21 @@
+package quality_test
+
+import (
+	"fmt"
+
+	"dragonfly/internal/quality"
+)
+
+// ExampleViewportAccumulator shows why viewport quality must be aggregated
+// in the MSE domain: one bad tile drags the viewport far below the
+// arithmetic dB mean.
+func ExampleViewportAccumulator() {
+	var acc quality.ViewportAccumulator
+	acc.Add(1, 45) // a good tile
+	acc.Add(1, 15) // a terrible (nearly blank) tile of equal area
+	fmt.Printf("arithmetic mean: 30.0 dB\n")
+	fmt.Printf("MSE-domain aggregate: %.1f dB\n", acc.PSNR())
+	// Output:
+	// arithmetic mean: 30.0 dB
+	// MSE-domain aggregate: 18.0 dB
+}

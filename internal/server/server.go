@@ -1,0 +1,244 @@
+// Package server implements the Dragonfly tile server (paper §3.3): a
+// modified-DASH-style server that sends the manifest, then streams tiles
+// according to the client's most recent request. A new request supersedes
+// the old one — queued-but-untransmitted tiles are dropped — and a tile
+// already transmitted on the primary stream is never re-sent (only
+// masking-quality tiles may be upgraded).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"dragonfly/internal/player"
+	"dragonfly/internal/proto"
+	"dragonfly/internal/video"
+)
+
+// Server serves a library of video manifests.
+type Server struct {
+	manifests map[string]*video.Manifest
+	// Logf receives per-connection diagnostics; nil silences logging.
+	Logf func(format string, args ...any)
+}
+
+// New creates a server for the given videos.
+func New(manifests ...*video.Manifest) *Server {
+	s := &Server{manifests: make(map[string]*video.Manifest, len(manifests))}
+	for _, m := range manifests {
+		s.manifests[m.VideoID] = m
+	}
+	return s
+}
+
+// Videos lists the available video IDs.
+func (s *Server) Videos() []string {
+	out := make([]string, 0, len(s.manifests))
+	for id := range s.manifests {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections until the listener fails or ctx is done.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		go func() {
+			defer conn.Close()
+			if err := s.HandleConn(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.logf("server: connection ended: %v", err)
+			}
+		}()
+	}
+}
+
+// sendState is the per-connection queue shared between the request reader
+// and the tile sender.
+type sendState struct {
+	mu     sync.Mutex
+	wake   chan struct{}
+	queue  []player.RequestItem
+	gen    uint32
+	closed bool
+
+	sentPrimary  []bool
+	sentMaskTile []bool
+	sentMaskFull []bool
+}
+
+func newSendState(m *video.Manifest) *sendState {
+	tiles := m.NumTiles()
+	return &sendState{
+		wake:         make(chan struct{}, 1),
+		sentPrimary:  make([]bool, m.NumChunks*tiles),
+		sentMaskTile: make([]bool, m.NumChunks*tiles),
+		sentMaskFull: make([]bool, m.NumChunks),
+	}
+}
+
+func (st *sendState) signal() {
+	select {
+	case st.wake <- struct{}{}:
+	default:
+	}
+}
+
+// install replaces the queue if the request is newer ("when a new request
+// is received, the server discards the previous (older) request").
+func (st *sendState) install(r proto.Request) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed || r.Generation < st.gen {
+		// Stale (out-of-order) requests are ignored.
+		return
+	}
+	st.gen = r.Generation
+	st.queue = r.Items
+	st.signal()
+}
+
+// next pops the next sendable item, applying the redundancy rule, or
+// returns false if the queue is (currently) exhausted. done reports the
+// connection was closed.
+func (st *sendState) next(m *video.Manifest) (it player.RequestItem, ok, done bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tiles := m.NumTiles()
+	for len(st.queue) > 0 {
+		it = st.queue[0]
+		st.queue = st.queue[1:]
+		if it.Chunk < 0 || it.Chunk >= m.NumChunks || (!it.Full360 && int(it.Tile) >= tiles) {
+			continue // malformed entry; skip defensively
+		}
+		switch {
+		case it.Stream == player.Primary:
+			ct := it.Chunk*tiles + int(it.Tile)
+			if st.sentPrimary[ct] {
+				continue
+			}
+			st.sentPrimary[ct] = true
+		case it.Full360:
+			if st.sentMaskFull[it.Chunk] {
+				continue
+			}
+			st.sentMaskFull[it.Chunk] = true
+		default:
+			ct := it.Chunk*tiles + int(it.Tile)
+			if st.sentMaskTile[ct] || st.sentMaskFull[it.Chunk] {
+				continue
+			}
+			st.sentMaskTile[ct] = true
+		}
+		return it, true, false
+	}
+	return player.RequestItem{}, false, st.closed
+}
+
+func (st *sendState) close() {
+	st.mu.Lock()
+	st.closed = true
+	st.mu.Unlock()
+	st.signal()
+}
+
+// HandleConn runs one streaming session over an established connection.
+func (s *Server) HandleConn(conn net.Conn) error {
+	msg, err := proto.ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("server: read hello: %w", err)
+	}
+	if msg.Type != proto.MsgHello {
+		return fmt.Errorf("server: expected hello, got type %d", msg.Type)
+	}
+	m, ok := s.manifests[msg.Hello.VideoID]
+	if !ok {
+		_ = proto.WriteError(conn, fmt.Sprintf("unknown video %q", msg.Hello.VideoID))
+		return fmt.Errorf("server: unknown video %q", msg.Hello.VideoID)
+	}
+	if err := proto.WriteManifest(conn, m); err != nil {
+		return fmt.Errorf("server: send manifest: %w", err)
+	}
+
+	st := newSendState(m)
+
+	// Request reader: installs each new fetch list until the client leaves.
+	readErr := make(chan error, 1)
+	go func() {
+		defer st.close()
+		for {
+			msg, err := proto.ReadMessage(conn)
+			if err != nil {
+				readErr <- err
+				return
+			}
+			switch msg.Type {
+			case proto.MsgRequest:
+				st.install(*msg.Request)
+			case proto.MsgBye:
+				readErr <- nil
+				return
+			default:
+				readErr <- fmt.Errorf("server: unexpected message type %d", msg.Type)
+				return
+			}
+		}
+	}()
+
+	// Tile sender: drains the queue; payload bytes are synthetic (the
+	// manifest declares the size; content is irrelevant to scheduling).
+	var payload []byte
+	for {
+		it, ok, done := st.next(m)
+		if done {
+			break
+		}
+		if !ok {
+			<-st.wake
+			continue
+		}
+		size := it.Size(m)
+		if int64(len(payload)) < size {
+			payload = make([]byte, size)
+		}
+		if err := proto.WriteTileData(conn, proto.TileData{Item: it, Payload: payload[:size]}); err != nil {
+			st.close()
+			return fmt.Errorf("server: send tile: %w", err)
+		}
+	}
+	if err := <-readErr; err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe listens on addr and serves until ctx is done.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	log.Printf("dragonfly server listening on %s (videos: %v)", l.Addr(), s.Videos())
+	return s.Serve(ctx, l)
+}

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"dragonfly/internal/player"
+	"dragonfly/internal/proto"
+	"dragonfly/internal/video"
+)
+
+func testManifest() *video.Manifest {
+	return video.Generate(video.GenParams{ID: "srv", Rows: 4, Cols: 4, NumChunks: 3, Seed: 9})
+}
+
+func TestVideos(t *testing.T) {
+	s := New(testManifest())
+	vids := s.Videos()
+	if len(vids) != 1 || vids[0] != "srv" {
+		t.Fatalf("videos = %v", vids)
+	}
+}
+
+func TestSendStateSupersession(t *testing.T) {
+	m := testManifest()
+	st := newSendState(m)
+	st.install(proto.Request{Generation: 1, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 1},
+		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 1},
+	}})
+	// A newer request replaces the queue wholesale.
+	st.install(proto.Request{Generation: 2, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 2, Quality: 3},
+	}})
+	it, ok, done := st.next(m)
+	if !ok || done || it.Tile != 2 {
+		t.Fatalf("next = %+v ok=%v done=%v", it, ok, done)
+	}
+	if _, ok, _ := st.next(m); ok {
+		t.Fatal("superseded items survived")
+	}
+}
+
+func TestSendStateIgnoresStaleGeneration(t *testing.T) {
+	m := testManifest()
+	st := newSendState(m)
+	st.install(proto.Request{Generation: 5, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 7, Quality: 1},
+	}})
+	st.install(proto.Request{Generation: 3, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 9, Quality: 1},
+	}})
+	it, ok, _ := st.next(m)
+	if !ok || it.Tile != 7 {
+		t.Fatalf("stale generation replaced queue: %+v", it)
+	}
+}
+
+func TestSendStateRedundancyRules(t *testing.T) {
+	m := testManifest()
+	st := newSendState(m)
+	items := []player.RequestItem{
+		{Stream: player.Masking, Chunk: 0, Tile: 1, Quality: 0},
+		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 2}, // upgrade over masking: allowed
+		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 4}, // re-send primary: dropped
+		{Stream: player.Masking, Chunk: 0, Full360: true, Quality: 0},
+		{Stream: player.Masking, Chunk: 0, Tile: 2, Quality: 0},       // covered by full-360: dropped
+		{Stream: player.Masking, Chunk: 0, Full360: true, Quality: 0}, // duplicate full: dropped
+	}
+	st.install(proto.Request{Generation: 1, Items: items})
+	var sent []player.RequestItem
+	for {
+		it, ok, done := st.next(m)
+		if done || !ok {
+			break
+		}
+		sent = append(sent, it)
+	}
+	if len(sent) != 3 {
+		t.Fatalf("sent %d items, want 3: %+v", len(sent), sent)
+	}
+	if sent[0].Stream != player.Masking || sent[1].Stream != player.Primary || !sent[2].Full360 {
+		t.Fatalf("unexpected send order: %+v", sent)
+	}
+}
+
+func TestSendStateSkipsMalformed(t *testing.T) {
+	m := testManifest()
+	st := newSendState(m)
+	st.install(proto.Request{Generation: 1, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 999, Tile: 0, Quality: 1},
+		{Stream: player.Primary, Chunk: 0, Tile: 999, Quality: 1},
+		{Stream: player.Primary, Chunk: 0, Tile: 3, Quality: 1},
+	}})
+	it, ok, _ := st.next(m)
+	if !ok || it.Tile != 3 {
+		t.Fatalf("malformed items not skipped: %+v", it)
+	}
+}
+
+func TestSendStateCloseUnblocks(t *testing.T) {
+	m := testManifest()
+	st := newSendState(m)
+	done := make(chan struct{})
+	go func() {
+		for {
+			_, ok, closed := st.next(m)
+			if closed {
+				close(done)
+				return
+			}
+			if !ok {
+				<-st.wake
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	st.close()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("close did not unblock the sender")
+	}
+}
+
+func TestHandleConnRejectsNonHello(t *testing.T) {
+	s := New(testManifest())
+	client, srvConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.HandleConn(srvConn) }()
+	if err := proto.WriteRequest(client, proto.Request{Generation: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("non-hello first message accepted")
+	}
+	client.Close()
+	srvConn.Close()
+}
+
+func TestHandleConnUnknownVideo(t *testing.T) {
+	s := New(testManifest())
+	client, srvConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.HandleConn(srvConn) }()
+	go func() { _ = proto.WriteHello(client, proto.Hello{VideoID: "ghost"}) }()
+	msg, err := proto.ReadMessage(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != proto.MsgError {
+		t.Fatalf("expected error message, got %d", msg.Type)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("unknown video reported no error")
+	}
+	client.Close()
+	srvConn.Close()
+}
+
+func TestHandleConnStreamsRequestedTiles(t *testing.T) {
+	m := testManifest()
+	s := New(m)
+	client, srvConn := net.Pipe()
+	go func() {
+		defer srvConn.Close()
+		_ = s.HandleConn(srvConn)
+	}()
+	defer client.Close()
+
+	go func() { _ = proto.WriteHello(client, proto.Hello{VideoID: "srv"}) }()
+	readCh := make(chan *proto.Message, 16)
+	errCh := make(chan error, 1)
+	go func() {
+		for {
+			msg, err := proto.ReadMessage(client)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			readCh <- msg
+		}
+	}()
+
+	msg := <-readCh
+	if msg.Type != proto.MsgManifest || msg.Manifest.VideoID != "srv" {
+		t.Fatalf("expected manifest, got %d", msg.Type)
+	}
+
+	want := player.RequestItem{Stream: player.Primary, Chunk: 1, Tile: 5, Quality: 2}
+	if err := proto.WriteRequest(client, proto.Request{Generation: 1, Items: []player.RequestItem{want}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg = <-readCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("no tile data")
+	}
+	if msg.Type != proto.MsgTileData || msg.TileData.Item != want {
+		t.Fatalf("tile data mismatch: %+v", msg)
+	}
+	if int64(len(msg.TileData.Payload)) != m.TileSize(1, 5, 2) {
+		t.Fatalf("payload %d bytes, want %d", len(msg.TileData.Payload), m.TileSize(1, 5, 2))
+	}
+	_ = proto.WriteBye(client)
+}
+
+func TestServeHonorsContext(t *testing.T) {
+	s := New(testManifest())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, l) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("Serve returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not stop on cancel")
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dragonfly/internal/player"
+)
+
+// WriteResults serializes a sweep's results as JSON, so expensive
+// paper-scale runs can be archived and re-analyzed without re-simulating.
+func WriteResults(w io.Writer, r Results) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("sim: encode results: %w", err)
+	}
+	return nil
+}
+
+// ReadResults parses results written by WriteResults.
+func ReadResults(r io.Reader) (Results, error) {
+	var out Results
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("sim: decode results: %w", err)
+	}
+	for name, sessions := range out {
+		for i, s := range sessions {
+			if s == nil {
+				return nil, fmt.Errorf("sim: results for %q contain a null session at %d", name, i)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MergeResults combines sweeps (e.g. runs sharded across machines); scheme
+// names colliding across inputs have their session lists concatenated.
+func MergeResults(parts ...Results) Results {
+	out := Results{}
+	for _, p := range parts {
+		for name, sessions := range p {
+			out[name] = append(out[name], sessions...)
+		}
+	}
+	return out
+}
+
+// Filter returns the subset of sessions satisfying keep, per scheme.
+func (r Results) Filter(keep func(*player.Metrics) bool) Results {
+	out := Results{}
+	for name, sessions := range r {
+		for _, s := range sessions {
+			if keep(s) {
+				out[name] = append(out[name], s)
+			}
+		}
+	}
+	return out
+}

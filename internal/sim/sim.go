@@ -1,0 +1,224 @@
+// Package sim runs session sweeps: the cross product of videos, user
+// traces, bandwidth traces and schemes that produces the hundreds of
+// sessions behind each of the paper's evaluation figures (§4.3 runs 770
+// sessions per comparison). Sessions are independent, so the sweep fans
+// out across a bounded worker pool.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dragonfly/internal/baseline"
+	"dragonfly/internal/core"
+	"dragonfly/internal/decoder"
+	"dragonfly/internal/player"
+	"dragonfly/internal/quality"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/video"
+)
+
+// SchemeFactory builds a fresh scheme instance. Schemes hold per-session
+// state (committed chunk decisions), so each session needs its own.
+type SchemeFactory func() player.Scheme
+
+// Registry returns factories for every scheme and variant in the paper's
+// evaluation, keyed by the identifier used on the experiment command line.
+func Registry() map[string]SchemeFactory {
+	return map[string]SchemeFactory{
+		// The four systems of Table 1.
+		"dragonfly": func() player.Scheme { return core.NewDefault() },
+		"flare":     func() player.Scheme { return baseline.NewFlare(baseline.FlareOptions{}) },
+		"pano":      func() player.Scheme { return baseline.NewPano(baseline.PanoOptions{}) },
+		"twotier":   func() player.Scheme { return baseline.NewTwoTier(baseline.TwoTierOptions{}) },
+
+		// PSPNR-optimizing variants (§4.3, Fig 10).
+		"dragonfly-pspnr": func() player.Scheme {
+			return core.New(core.Options{Metric: quality.PSPNR, Name: "Dragonfly-PSPNR"})
+		},
+		"pano-pspnr": func() player.Scheme {
+			return baseline.NewPano(baseline.PanoOptions{Metric: quality.PSPNR})
+		},
+
+		// 1-second look-ahead sensitivity variants (§4.3).
+		"flare-1s": func() player.Scheme {
+			return baseline.NewFlare(baseline.FlareOptions{Lookahead: time.Second, Name: "Flare-1s"})
+		},
+		"pano-1s": func() player.Scheme {
+			return baseline.NewPano(baseline.PanoOptions{Lookahead: time.Second, Name: "Pano-1s"})
+		},
+
+		// Table 2 ablation variants.
+		"passiveskip": func() player.Scheme { return baseline.NewPassiveSkip() },
+		"perchunk": func() player.Scheme {
+			return core.New(core.Options{DecisionInterval: time.Second, Name: "PerChunk"})
+		},
+		"nomask": func() player.Scheme {
+			return core.New(core.Options{Masking: core.MaskNone, Name: "NoMask"})
+		},
+
+		// Masking-strategy variant (Fig 19): the user-study configuration.
+		"dragonfly-tiled": func() player.Scheme {
+			return core.New(core.Options{Masking: core.MaskTiled, Name: "Dragonfly-Tiled"})
+		},
+
+		// §3.2 future-work optimization: utility-scheduled tiled masking.
+		"dragonfly-tiled-sched": func() player.Scheme {
+			return core.New(core.Options{Masking: core.MaskTiled, MaskScheduled: true, Name: "Dragonfly-TiledSched"})
+		},
+	}
+}
+
+// Sweep describes a full experiment: each scheme plays every
+// (video, user, bandwidth) combination.
+type Sweep struct {
+	Videos     []*video.Manifest
+	Users      []*trace.HeadTrace
+	Bandwidths []*trace.BandwidthTrace
+	Schemes    []string // registry keys (or Extra keys)
+
+	// Extra supplies ad-hoc scheme factories (consulted before the
+	// registry), for ablations of configurations the registry doesn't
+	// name.
+	Extra map[string]SchemeFactory
+
+	// Decoder, when set, builds a per-session media-decode model.
+	Decoder func() *decoder.Model
+
+	// MaskInterpolation enables neighbor interpolation of masking holes
+	// (§3.2 future work) in every session.
+	MaskInterpolation bool
+
+	Metric          quality.Metric
+	PredictErrorDeg float64
+	Workers         int // 0 = GOMAXPROCS
+}
+
+// Results maps scheme display name to its session metrics, in a stable
+// (video, user, bandwidth) order.
+type Results map[string][]*player.Metrics
+
+// Run executes the sweep.
+func Run(sw Sweep) (Results, error) {
+	reg := Registry()
+	type job struct {
+		scheme  string
+		factory SchemeFactory
+		cfg     player.Config
+		idx     int
+	}
+	var jobs []job
+	perScheme := len(sw.Videos) * len(sw.Users) * len(sw.Bandwidths)
+	if perScheme == 0 {
+		return nil, fmt.Errorf("sim: sweep needs videos, users and bandwidth traces")
+	}
+	for _, key := range sw.Schemes {
+		factory, ok := sw.Extra[key]
+		if !ok {
+			factory, ok = reg[key]
+		}
+		if !ok {
+			return nil, fmt.Errorf("sim: unknown scheme %q", key)
+		}
+		i := 0
+		for _, v := range sw.Videos {
+			for _, u := range sw.Users {
+				for _, b := range sw.Bandwidths {
+					jobs = append(jobs, job{
+						scheme:  key,
+						factory: factory,
+						idx:     i,
+						cfg: player.Config{
+							Manifest:         v,
+							Head:             u,
+							Bandwidth:        b,
+							Metric:           sw.Metric,
+							PredictErrorDeg:  sw.PredictErrorDeg,
+							PredictErrorSeed: int64(i + 1),
+						},
+					})
+					i++
+				}
+			}
+		}
+	}
+
+	workers := sw.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type outcome struct {
+		scheme string
+		idx    int
+		met    *player.Metrics
+		err    error
+	}
+	jobCh := make(chan job)
+	outCh := make(chan outcome, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				cfg := j.cfg
+				cfg.Scheme = j.factory()
+				if sw.Decoder != nil {
+					cfg.Decoder = sw.Decoder()
+				}
+				cfg.MaskInterpolation = sw.MaskInterpolation
+				met, err := player.Run(cfg)
+				outCh <- outcome{scheme: j.scheme, idx: j.idx, met: met, err: err}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	close(outCh)
+
+	byScheme := map[string][]outcome{}
+	for o := range outCh {
+		if o.err != nil {
+			return nil, o.err
+		}
+		byScheme[o.scheme] = append(byScheme[o.scheme], o)
+	}
+	res := Results{}
+	for key, outs := range byScheme {
+		sort.Slice(outs, func(a, b int) bool { return outs[a].idx < outs[b].idx })
+		name := outs[0].met.SchemeName
+		mets := make([]*player.Metrics, len(outs))
+		for i, o := range outs {
+			mets[i] = o.met
+		}
+		_ = key
+		res[name] = mets
+	}
+	return res, nil
+}
+
+// PooledFrameScores concatenates every session's per-frame quality scores —
+// the "distribution of PSNR across viewports of all sessions" the paper's
+// CDFs plot.
+func PooledFrameScores(sessions []*player.Metrics) []float64 {
+	var out []float64
+	for _, s := range sessions {
+		out = append(out, s.FrameScore...)
+	}
+	return out
+}
+
+// SessionStat extracts one scalar per session.
+func SessionStat(sessions []*player.Metrics, f func(*player.Metrics) float64) []float64 {
+	out := make([]float64, len(sessions))
+	for i, s := range sessions {
+		out[i] = f(s)
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BandwidthTrace is a throughput time series with piecewise-constant
+// bandwidth over fixed sample periods.
+type BandwidthTrace struct {
+	ID           string
+	SamplePeriod time.Duration
+	Mbps         []float64
+}
+
+// Duration returns the total trace length.
+func (b *BandwidthTrace) Duration() time.Duration {
+	return time.Duration(len(b.Mbps)) * b.SamplePeriod
+}
+
+// At returns the bandwidth in Mbps at time t. Times past the end wrap
+// around, so a trace can back a session longer than itself.
+func (b *BandwidthTrace) At(t time.Duration) float64 {
+	if len(b.Mbps) == 0 {
+		return 0
+	}
+	if t < 0 {
+		t = 0
+	}
+	i := int(t/b.SamplePeriod) % len(b.Mbps)
+	return b.Mbps[i]
+}
+
+// BytesBetween integrates bandwidth over [t0, t1) and returns the number of
+// bytes deliverable in that interval.
+func (b *BandwidthTrace) BytesBetween(t0, t1 time.Duration) float64 {
+	if t1 <= t0 || len(b.Mbps) == 0 {
+		return 0
+	}
+	total := 0.0
+	for t := t0; t < t1; {
+		// End of the sample period containing t.
+		next := t.Truncate(b.SamplePeriod) + b.SamplePeriod
+		if next > t1 {
+			next = t1
+		}
+		total += b.At(t) * 1e6 / 8 * (next - t).Seconds()
+		t = next
+	}
+	return total
+}
+
+// TimeToTransfer returns how long it takes to deliver the given number of
+// bytes starting at time from, walking the piecewise-constant samples (the
+// inverse of BytesBetween). It returns a huge duration if the trace has no
+// capacity at all.
+func (b *BandwidthTrace) TimeToTransfer(bytes float64, from time.Duration) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	if len(b.Mbps) == 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	remaining := bytes
+	t := from
+	// Cap the walk at an hour of virtual time to guard against zero-rate
+	// traces; callers treat anything that long as "never".
+	limit := from + time.Hour
+	for t < limit {
+		next := t.Truncate(b.SamplePeriod) + b.SamplePeriod
+		rate := b.At(t) * 1e6 / 8 // bytes per second
+		span := (next - t).Seconds()
+		capacity := rate * span
+		if capacity >= remaining {
+			if rate <= 0 {
+				t = next
+				continue
+			}
+			return t + time.Duration(remaining/rate*float64(time.Second)) - from
+		}
+		remaining -= capacity
+		t = next
+	}
+	return time.Hour
+}
+
+// Percentile returns the p-th percentile bandwidth (p in [0, 100]) using
+// nearest-rank on the sorted samples.
+func (b *BandwidthTrace) Percentile(p float64) float64 {
+	if len(b.Mbps) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), b.Mbps...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// Mean returns the average bandwidth in Mbps.
+func (b *BandwidthTrace) Mean() float64 {
+	if len(b.Mbps) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range b.Mbps {
+		s += v
+	}
+	return s / float64(len(b.Mbps))
+}
+
+// Crop returns the sub-trace covering [start, start+dur), clamped to the
+// trace bounds.
+func (b *BandwidthTrace) Crop(start, dur time.Duration) *BandwidthTrace {
+	i0 := int(start / b.SamplePeriod)
+	i1 := int((start + dur) / b.SamplePeriod)
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i1 > len(b.Mbps) {
+		i1 = len(b.Mbps)
+	}
+	if i0 > i1 {
+		i0 = i1
+	}
+	return &BandwidthTrace{
+		ID:           fmt.Sprintf("%s[%ds+%ds]", b.ID, int(start.Seconds()), int(dur.Seconds())),
+		SamplePeriod: b.SamplePeriod,
+		Mbps:         append([]float64(nil), b.Mbps[i0:i1]...),
+	}
+}
+
+// Capped returns a copy with every sample limited to capMbps, as the paper
+// caps all samples to 28 Mbps (§4.2).
+func (b *BandwidthTrace) Capped(capMbps float64) *BandwidthTrace {
+	out := &BandwidthTrace{ID: b.ID, SamplePeriod: b.SamplePeriod, Mbps: make([]float64, len(b.Mbps))}
+	for i, v := range b.Mbps {
+		out.Mbps[i] = math.Min(v, capMbps)
+	}
+	return out
+}
+
+// Scaled returns a copy with every sample multiplied by f.
+func (b *BandwidthTrace) Scaled(f float64) *BandwidthTrace {
+	out := &BandwidthTrace{ID: b.ID, SamplePeriod: b.SamplePeriod, Mbps: make([]float64, len(b.Mbps))}
+	for i, v := range b.Mbps {
+		out.Mbps[i] = v * f
+	}
+	return out
+}
+
+// BandwidthGenParams parameterizes the synthetic cellular-throughput
+// generator: a Markov-modulated process with state-dependent means.
+type BandwidthGenParams struct {
+	ID           string
+	Duration     time.Duration // default 1 minute
+	SamplePeriod time.Duration // default 500 ms
+	Seed         int64
+
+	// StateMeansMbps and the switching rate define the Markov envelope.
+	StateMeansMbps []float64
+	SwitchPerSec   float64 // probability per second of changing state
+	NoiseFrac      float64 // multiplicative noise std-dev around the state mean
+	// DipPerSec adds abrupt near-zero dips (prominent in the Irish 5G data,
+	// §4.3 "bandwidth in these traces exhibits abrupt occasional dips").
+	DipPerSec float64
+	DipLen    time.Duration
+}
+
+// GenerateBandwidth synthesizes one bandwidth trace.
+func GenerateBandwidth(p BandwidthGenParams) *BandwidthTrace {
+	if p.Duration == 0 {
+		p.Duration = time.Minute
+	}
+	if p.SamplePeriod == 0 {
+		p.SamplePeriod = 500 * time.Millisecond
+	}
+	if len(p.StateMeansMbps) == 0 {
+		p.StateMeansMbps = []float64{8, 14, 22}
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := int(p.Duration / p.SamplePeriod)
+	mbps := make([]float64, n)
+	state := rng.Intn(len(p.StateMeansMbps))
+	dt := p.SamplePeriod.Seconds()
+	dipLeft := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p.SwitchPerSec*dt {
+			state = rng.Intn(len(p.StateMeansMbps))
+		}
+		v := p.StateMeansMbps[state] * (1 + rng.NormFloat64()*p.NoiseFrac)
+		if dipLeft > 0 {
+			dipLeft--
+			v = rng.Float64() * 0.8 // near zero
+		} else if p.DipPerSec > 0 && rng.Float64() < p.DipPerSec*dt {
+			dipLeft = int(p.DipLen.Seconds() / dt)
+			if dipLeft < 1 {
+				dipLeft = 1
+			}
+			v = rng.Float64() * 0.8
+		}
+		mbps[i] = math.Max(0.1, v)
+	}
+	return &BandwidthTrace{ID: p.ID, SamplePeriod: p.SamplePeriod, Mbps: mbps}
+}
+
+// FilterOptions implements the paper's trace-selection rules (§4.2): reject
+// traces too slow to ever stream the viewport at top quality, or so fast
+// the full 360° fits; then cap all samples.
+type FilterOptions struct {
+	MinP10Mbps  float64 // keep if the 10th percentile is at least this
+	MaxHighMbps float64 // keep if the high percentile is at most this
+	HighPct     float64 // 90 for Belgian, 75 for Irish (footnote 4)
+	CapMbps     float64
+}
+
+// DefaultBelgianFilter matches §4.2 for the Belgian dataset.
+var DefaultBelgianFilter = FilterOptions{MinP10Mbps: 7, MaxHighMbps: 28, HighPct: 90, CapMbps: 28}
+
+// DefaultIrishFilter matches footnote 4 for the Irish dataset.
+var DefaultIrishFilter = FilterOptions{MinP10Mbps: 7, MaxHighMbps: 28, HighPct: 75, CapMbps: 28}
+
+// Filter applies the selection rule and cap, returning the surviving traces.
+func Filter(traces []*BandwidthTrace, o FilterOptions) []*BandwidthTrace {
+	var out []*BandwidthTrace
+	for _, tr := range traces {
+		if tr.Percentile(10) < o.MinP10Mbps {
+			continue
+		}
+		if tr.Percentile(o.HighPct) > o.MaxHighMbps {
+			continue
+		}
+		out = append(out, tr.Capped(o.CapMbps))
+	}
+	return out
+}
+
+// DefaultBelgianTraces generates and filters 4G-like traces until n survive.
+// The generator mimics the Belgian HTTP/4G logs: moderate means with
+// transport-mode-driven state changes.
+func DefaultBelgianTraces(n int) []*BandwidthTrace {
+	var out []*BandwidthTrace
+	for seed := int64(1); len(out) < n && seed < int64(n)*50; seed++ {
+		tr := GenerateBandwidth(BandwidthGenParams{
+			ID:             fmt.Sprintf("belgian-%d", seed),
+			Seed:           seed,
+			StateMeansMbps: []float64{9, 13, 18, 24},
+			SwitchPerSec:   0.25,
+			NoiseFrac:      0.15,
+		})
+		out = append(out, Filter([]*BandwidthTrace{tr}, DefaultBelgianFilter)...)
+	}
+	return out
+}
+
+// DefaultIrishTraces generates and filters 5G-like traces until n survive:
+// higher and flatter bandwidth, but with abrupt near-zero dips.
+func DefaultIrishTraces(n int) []*BandwidthTrace {
+	var out []*BandwidthTrace
+	for seed := int64(10001); len(out) < n && seed < 10001+int64(n)*80; seed++ {
+		tr := GenerateBandwidth(BandwidthGenParams{
+			ID:             fmt.Sprintf("irish-%d", seed),
+			Seed:           seed,
+			StateMeansMbps: []float64{14, 20, 26},
+			SwitchPerSec:   0.12,
+			NoiseFrac:      0.10,
+			DipPerSec:      0.06,
+			DipLen:         1500 * time.Millisecond,
+		})
+		out = append(out, Filter([]*BandwidthTrace{tr}, DefaultIrishFilter)...)
+	}
+	return out
+}
+
+// WriteBandwidthCSV writes "t_ms,mbps" rows.
+func WriteBandwidthCSV(w io.Writer, b *BandwidthTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# id=%s period_ms=%d\n", b.ID, b.SamplePeriod.Milliseconds()); err != nil {
+		return err
+	}
+	for i, v := range b.Mbps {
+		t := time.Duration(i) * b.SamplePeriod
+		if _, err := fmt.Fprintf(bw, "%d,%.4f\n", t.Milliseconds(), v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBandwidthCSV parses a trace written by WriteBandwidthCSV.
+func ReadBandwidthCSV(r io.Reader) (*BandwidthTrace, error) {
+	sc := bufio.NewScanner(r)
+	b := &BandwidthTrace{SamplePeriod: 500 * time.Millisecond}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			for _, f := range strings.Fields(line[1:]) {
+				if v, ok := strings.CutPrefix(f, "id="); ok {
+					b.ID = v
+				}
+				if v, ok := strings.CutPrefix(f, "period_ms="); ok {
+					ms, err := strconv.Atoi(v)
+					if err != nil || ms <= 0 {
+						return nil, fmt.Errorf("trace: bad period %q", v)
+					}
+					b.SamplePeriod = time.Duration(ms) * time.Millisecond
+				}
+			}
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("trace: bad bandwidth row %q", line)
+		}
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("trace: bad mbps %q", parts[1])
+		}
+		b.Mbps = append(b.Mbps, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(b.Mbps) == 0 {
+		return nil, fmt.Errorf("trace: empty bandwidth trace")
+	}
+	return b, nil
+}

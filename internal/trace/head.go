@@ -1,0 +1,263 @@
+// Package trace provides the two trace substrates of the paper's
+// evaluation: user head-motion traces (the [34] dataset in the paper) and
+// network bandwidth traces (the Belgian 4G [45] and Irish 5G [40] datasets),
+// plus synthetic generators calibrated to their published characteristics.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"dragonfly/internal/geom"
+)
+
+// HeadSamplePeriod is the orientation sampling period: the Oculus HMD sends
+// user coordinates every 40 ms (paper §4.5).
+const HeadSamplePeriod = 40 * time.Millisecond
+
+// HeadTrace is a time series of head orientations sampled at a fixed period.
+type HeadTrace struct {
+	UserID       string
+	SamplePeriod time.Duration
+	Samples      []geom.Orientation
+}
+
+// Duration returns the trace length.
+func (h *HeadTrace) Duration() time.Duration {
+	if len(h.Samples) == 0 {
+		return 0
+	}
+	return time.Duration(len(h.Samples)-1) * h.SamplePeriod
+}
+
+// At returns the orientation at time t, interpolating between samples (yaw
+// interpolated along the shortest arc). Times outside the trace clamp to the
+// first/last sample.
+func (h *HeadTrace) At(t time.Duration) geom.Orientation {
+	n := len(h.Samples)
+	if n == 0 {
+		return geom.Orientation{}
+	}
+	if t <= 0 {
+		return h.Samples[0]
+	}
+	idx := float64(t) / float64(h.SamplePeriod)
+	i := int(idx)
+	if i >= n-1 {
+		return h.Samples[n-1]
+	}
+	frac := idx - float64(i)
+	a, b := h.Samples[i], h.Samples[i+1]
+	return geom.Orientation{
+		Yaw:   geom.NormalizeYaw(a.Yaw + geom.YawDelta(a.Yaw, b.Yaw)*frac),
+		Pitch: a.Pitch + (b.Pitch-a.Pitch)*frac,
+	}
+}
+
+// MotionClass describes how actively a synthetic user moves.
+type MotionClass int
+
+// Motion classes: the [34] dataset spans users who barely move to users who
+// continuously explore the scene.
+const (
+	MotionLow MotionClass = iota
+	MotionMedium
+	MotionHigh
+)
+
+// HeadGenParams parameterizes the synthetic head-motion generator.
+type HeadGenParams struct {
+	UserID   string
+	Class    MotionClass
+	Duration time.Duration // default 1 minute
+	Seed     int64
+}
+
+// GenerateHead synthesizes a head trace: yaw velocity follows a
+// mean-reverting (Ornstein-Uhlenbeck-like) process with occasional saccades
+// — quick reorientations toward a new point of interest — whose rate and
+// magnitude grow with the motion class. Pitch wanders mildly around the
+// horizon, as real 360° viewers overwhelmingly look near the equator.
+func GenerateHead(p HeadGenParams) *HeadTrace {
+	if p.Duration == 0 {
+		p.Duration = time.Minute
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := int(p.Duration/HeadSamplePeriod) + 1
+	samples := make([]geom.Orientation, n)
+
+	var sigmaV, saccadeRate, saccadeMag float64
+	switch p.Class {
+	case MotionLow:
+		sigmaV, saccadeRate, saccadeMag = 4, 0.04, 40
+	case MotionMedium:
+		sigmaV, saccadeRate, saccadeMag = 10, 0.12, 70
+	default: // MotionHigh
+		sigmaV, saccadeRate, saccadeMag = 20, 0.25, 110
+	}
+
+	dt := HeadSamplePeriod.Seconds()
+	yaw := rng.Float64()*360 - 180
+	pitch := rng.NormFloat64() * 8
+	vYaw := 0.0 // deg/s
+	vPitch := 0.0
+	// saccadeLeft counts remaining samples of an in-flight saccade.
+	saccadeLeft := 0
+	saccadeV := 0.0
+	for i := 0; i < n; i++ {
+		samples[i] = geom.Orientation{Yaw: geom.NormalizeYaw(yaw), Pitch: geom.ClampPitch(pitch)}
+		// Velocity mean-reverts to zero with noise.
+		vYaw += (-1.5*vYaw)*dt + rng.NormFloat64()*sigmaV*math.Sqrt(dt)*10
+		vPitch += (-2.0*vPitch)*dt + rng.NormFloat64()*sigmaV*0.3*math.Sqrt(dt)*10
+		if saccadeLeft > 0 {
+			saccadeLeft--
+			vYaw += saccadeV
+		} else if rng.Float64() < saccadeRate*dt {
+			// Launch a ~0.4 s saccade of up to saccadeMag degrees.
+			dur := int(0.4 / dt)
+			total := (rng.Float64()*2 - 1) * saccadeMag
+			saccadeV = total / float64(dur)
+			saccadeLeft = dur
+		}
+		yaw += vYaw * dt
+		pitch += vPitch * dt
+		// Pull pitch back toward the horizon.
+		pitch -= pitch * 0.5 * dt
+		if pitch > 60 {
+			pitch = 60
+		}
+		if pitch < -60 {
+			pitch = -60
+		}
+	}
+	return &HeadTrace{UserID: p.UserID, SamplePeriod: HeadSamplePeriod, Samples: samples}
+}
+
+// DefaultUserTraces generates n user traces with a deterministic mix of
+// motion classes (roughly one third each), mirroring the spread of the [34]
+// dataset used for the 10-user sweeps of §4.3.
+func DefaultUserTraces(n int) []*HeadTrace {
+	out := make([]*HeadTrace, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, GenerateHead(HeadGenParams{
+			UserID: fmt.Sprintf("u%d", i+1),
+			Class:  MotionClass(i % 3),
+			Seed:   int64(1000 + i),
+		}))
+	}
+	return out
+}
+
+// YawDisplacementPerSecond returns, for each whole second of the trace, the
+// absolute yaw displacement over that second — the Figure 16 metric.
+func (h *HeadTrace) YawDisplacementPerSecond() []float64 {
+	secs := int(h.Duration() / time.Second)
+	out := make([]float64, 0, secs)
+	for s := 0; s < secs; s++ {
+		a := h.At(time.Duration(s) * time.Second)
+		b := h.At(time.Duration(s+1) * time.Second)
+		out = append(out, math.Abs(geom.YawDelta(a.Yaw, b.Yaw)))
+	}
+	return out
+}
+
+// MaxDisplacementPerChunk computes, for each chunk, the maximum angular
+// displacement any of the given users exhibits between the chunk start and
+// any instant within the chunk. The tiled masking strategy fetches tiles
+// within this displacement of the predicted viewport (paper §3.2, §4.5).
+func MaxDisplacementPerChunk(traces []*HeadTrace, chunkDur time.Duration, numChunks int) []float64 {
+	out := make([]float64, numChunks)
+	for c := 0; c < numChunks; c++ {
+		start := time.Duration(c) * chunkDur
+		maxD := 0.0
+		for _, h := range traces {
+			base := h.At(start)
+			for t := start; t <= start+chunkDur; t += h.SamplePeriod {
+				d := geom.AngularDistance(base, h.At(t))
+				if d > maxD {
+					maxD = d
+				}
+			}
+		}
+		out[c] = maxD
+	}
+	return out
+}
+
+// WriteHeadCSV writes the trace as "t_ms,yaw,pitch" rows.
+func WriteHeadCSV(w io.Writer, h *HeadTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# user=%s period_ms=%d\n", h.UserID, h.SamplePeriod.Milliseconds()); err != nil {
+		return err
+	}
+	for i, s := range h.Samples {
+		t := time.Duration(i) * h.SamplePeriod
+		if _, err := fmt.Fprintf(bw, "%d,%.4f,%.4f\n", t.Milliseconds(), s.Yaw, s.Pitch); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadHeadCSV parses a trace written by WriteHeadCSV. Unknown sample spacing
+// is inferred from the first two rows.
+func ReadHeadCSV(r io.Reader) (*HeadTrace, error) {
+	sc := bufio.NewScanner(r)
+	h := &HeadTrace{SamplePeriod: HeadSamplePeriod}
+	var times []int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			for _, f := range strings.Fields(line[1:]) {
+				if v, ok := strings.CutPrefix(f, "user="); ok {
+					h.UserID = v
+				}
+				if v, ok := strings.CutPrefix(f, "period_ms="); ok {
+					ms, err := strconv.Atoi(v)
+					if err != nil || ms <= 0 {
+						return nil, fmt.Errorf("trace: bad period %q", v)
+					}
+					h.SamplePeriod = time.Duration(ms) * time.Millisecond
+				}
+			}
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("trace: bad head row %q", line)
+		}
+		tms, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad time %q: %w", parts[0], err)
+		}
+		yaw, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad yaw %q: %w", parts[1], err)
+		}
+		pitch, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad pitch %q: %w", parts[2], err)
+		}
+		times = append(times, tms)
+		h.Samples = append(h.Samples, geom.Orientation{Yaw: yaw, Pitch: pitch}.Normalize())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(h.Samples) == 0 {
+		return nil, fmt.Errorf("trace: empty head trace")
+	}
+	if len(times) >= 2 && times[1] > times[0] {
+		h.SamplePeriod = time.Duration(times[1]-times[0]) * time.Millisecond
+	}
+	return h, nil
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// IntervalLogOptions describes the column layout of a throughput log of the
+// kind the paper's datasets ship ([45] Belgian 4G, [40] Irish 5G): one
+// line per measurement interval, whitespace- or comma-separated, with a
+// timestamp column and a bytes-transferred (or kbps/mbps) column.
+type IntervalLogOptions struct {
+	// TimestampCol and ValueCol are zero-based column indexes.
+	TimestampCol int
+	ValueCol     int
+	// TimestampUnit converts the timestamp column to a duration (e.g.
+	// time.Millisecond for epoch-milliseconds). Default: time.Millisecond.
+	TimestampUnit time.Duration
+	// ValueIsBytes interprets the value column as bytes transferred during
+	// the interval; otherwise it is taken as kilobits per second.
+	ValueIsBytes bool
+	// Resample is the uniform sample period of the resulting trace.
+	// Default: 1 second.
+	Resample time.Duration
+	// Comma switches the separator from whitespace to commas.
+	Comma bool
+	ID    string
+}
+
+// ReadIntervalLog parses a raw throughput measurement log into a uniformly
+// sampled BandwidthTrace: measurements are bucketed into Resample-sized
+// bins (relative to the first timestamp) and averaged. Lines that fail to
+// parse are skipped; the log must yield at least two usable measurements.
+func ReadIntervalLog(r io.Reader, o IntervalLogOptions) (*BandwidthTrace, error) {
+	if o.TimestampUnit == 0 {
+		o.TimestampUnit = time.Millisecond
+	}
+	if o.Resample == 0 {
+		o.Resample = time.Second
+	}
+	type sample struct {
+		at   time.Duration
+		mbps float64
+	}
+	var samples []sample
+	sc := bufio.NewScanner(r)
+	var prevTS, firstTS time.Duration
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var fields []string
+		if o.Comma {
+			fields = strings.Split(line, ",")
+			for i := range fields {
+				fields[i] = strings.TrimSpace(fields[i])
+			}
+		} else {
+			fields = strings.Fields(line)
+		}
+		if o.TimestampCol >= len(fields) || o.ValueCol >= len(fields) {
+			continue
+		}
+		tsRaw, err1 := strconv.ParseFloat(fields[o.TimestampCol], 64)
+		val, err2 := strconv.ParseFloat(fields[o.ValueCol], 64)
+		if err1 != nil || err2 != nil || val < 0 {
+			continue
+		}
+		ts := time.Duration(tsRaw * float64(o.TimestampUnit))
+		if first {
+			firstTS = ts
+			prevTS = ts
+			first = false
+			if !o.ValueIsBytes {
+				samples = append(samples, sample{at: 0, mbps: val / 1000})
+			}
+			continue
+		}
+		at := ts - firstTS
+		var mbps float64
+		if o.ValueIsBytes {
+			dt := (ts - prevTS).Seconds()
+			if dt <= 0 {
+				prevTS = ts
+				continue
+			}
+			mbps = val * 8 / dt / 1e6
+		} else {
+			mbps = val / 1000 // kbps -> Mbps
+		}
+		samples = append(samples, sample{at: at, mbps: mbps})
+		prevTS = ts
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read interval log: %w", err)
+	}
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("trace: interval log has %d usable measurements, need >= 2", len(samples))
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a].at < samples[b].at })
+
+	// Bucket into uniform bins; empty bins inherit the previous bin's rate
+	// (measurement gaps, not outages, in these datasets).
+	last := samples[len(samples)-1].at
+	n := int(last/o.Resample) + 1
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for _, s := range samples {
+		i := int(s.at / o.Resample)
+		sums[i] += s.mbps
+		counts[i]++
+	}
+	mbps := make([]float64, n)
+	prev := 0.0
+	for i := range mbps {
+		if counts[i] > 0 {
+			mbps[i] = sums[i] / float64(counts[i])
+			prev = mbps[i]
+		} else {
+			mbps[i] = prev
+		}
+	}
+	id := o.ID
+	if id == "" {
+		id = "imported"
+	}
+	return &BandwidthTrace{ID: id, SamplePeriod: o.Resample, Mbps: mbps}, nil
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeToTransferSimple(t *testing.T) {
+	b := &BandwidthTrace{SamplePeriod: time.Second, Mbps: []float64{8}}
+	// 1e6 bytes at 8 Mbps takes exactly 1 second.
+	if got := b.TimeToTransfer(1e6, 0); got != time.Second {
+		t.Errorf("TimeToTransfer = %v, want 1s", got)
+	}
+	if got := b.TimeToTransfer(0, 0); got != 0 {
+		t.Errorf("zero bytes = %v", got)
+	}
+	if got := b.TimeToTransfer(5e5, 0); got != 500*time.Millisecond {
+		t.Errorf("half = %v", got)
+	}
+}
+
+func TestTimeToTransferAcrossSamples(t *testing.T) {
+	b := &BandwidthTrace{SamplePeriod: time.Second, Mbps: []float64{8, 16}}
+	// First 1e6 bytes take 1 s, next 1e6 take 0.5 s.
+	if got := b.TimeToTransfer(2e6, 0); got != 1500*time.Millisecond {
+		t.Errorf("TimeToTransfer = %v, want 1.5s", got)
+	}
+	// Starting mid-sample.
+	if got := b.TimeToTransfer(5e5, 500*time.Millisecond); got != 500*time.Millisecond {
+		t.Errorf("mid-sample start = %v, want 0.5s", got)
+	}
+}
+
+func TestTimeToTransferInverseOfBytesBetween(t *testing.T) {
+	b := GenerateBandwidth(BandwidthGenParams{ID: "inv", Seed: 8})
+	f := func(fromMsRaw, bytesRaw uint16) bool {
+		from := time.Duration(fromMsRaw%50000) * time.Millisecond
+		bytes := float64(bytesRaw)*1000 + 1
+		d := b.TimeToTransfer(bytes, from)
+		if d >= time.Hour {
+			return true
+		}
+		got := b.BytesBetween(from, from+d)
+		return math.Abs(got-bytes) < 50 // within rounding of Duration precision
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeToTransferEmptyTrace(t *testing.T) {
+	b := &BandwidthTrace{SamplePeriod: time.Second}
+	if got := b.TimeToTransfer(100, 0); got < time.Hour {
+		t.Errorf("empty trace should never deliver, got %v", got)
+	}
+}

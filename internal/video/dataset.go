@@ -1,0 +1,45 @@
+package video
+
+// DatasetEntry records one video of the paper's evaluation set with its
+// Table 3 bitrate targets and a qualitative motion level (the dataset of
+// [34] classifies videos by camera motion and moving objects).
+type DatasetEntry struct {
+	ID          string
+	QP42Mbps    float64 // median full-360° bitrate at QP 42
+	QP22Mbps    float64 // median full-360° bitrate at QP 22
+	MotionLevel float64 // 0 = static scene, 1 = heavy camera/object motion
+	Seed        int64
+}
+
+// Table3 lists the seven videos used throughout the paper's emulation
+// experiments, with the median bitrates of Table 3 (sorted by QP 42 rate).
+var Table3 = []DatasetEntry{
+	{ID: "v1", QP42Mbps: 0.9, QP22Mbps: 10.4, MotionLevel: 0.15, Seed: 101},
+	{ID: "v2", QP42Mbps: 1.2, QP22Mbps: 10.5, MotionLevel: 0.25, Seed: 102},
+	{ID: "v7", QP42Mbps: 1.7, QP22Mbps: 24.4, MotionLevel: 0.40, Seed: 107},
+	{ID: "v8", QP42Mbps: 3.1, QP22Mbps: 28.4, MotionLevel: 0.55, Seed: 108},
+	{ID: "v14", QP42Mbps: 3.3, QP22Mbps: 27.8, MotionLevel: 0.60, Seed: 114},
+	{ID: "v28", QP42Mbps: 3.6, QP22Mbps: 30.9, MotionLevel: 0.70, Seed: 128},
+	{ID: "v27", QP42Mbps: 4.6, QP22Mbps: 49.6, MotionLevel: 0.85, Seed: 127},
+}
+
+// DefaultDataset generates the seven Table 3 videos with the paper's
+// evaluation configuration (12×12 tiles, 1-second chunks, 1-minute videos).
+func DefaultDataset() []*Manifest {
+	return GenerateDataset(Table3)
+}
+
+// GenerateDataset synthesizes one manifest per entry.
+func GenerateDataset(entries []DatasetEntry) []*Manifest {
+	out := make([]*Manifest, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, Generate(GenParams{
+			ID:             e.ID,
+			TargetQP42Mbps: e.QP42Mbps,
+			TargetQP22Mbps: e.QP22Mbps,
+			MotionLevel:    e.MotionLevel,
+			Seed:           e.Seed,
+		}))
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package video_test
+
+import (
+	"fmt"
+
+	"dragonfly/internal/video"
+)
+
+// ExampleGenerate synthesizes a manifest calibrated like the paper's v8 and
+// reads the quantities the schedulers consume.
+func ExampleGenerate() {
+	m := video.Generate(video.GenParams{
+		ID:             "v8",
+		TargetQP42Mbps: 3.1,
+		TargetQP22Mbps: 28.4,
+		MotionLevel:    0.55,
+		Seed:           108,
+	})
+	fmt.Printf("grid: %dx%d, %d chunks of %d frames\n", m.Rows, m.Cols, m.NumChunks, m.ChunkFrames)
+	fmt.Printf("median full-360 bitrate at QP42: %.1f Mbps (target 3.1)\n", m.MedianFull360Mbps(video.Lowest))
+	fmt.Printf("median full-360 bitrate at QP22: %.1f Mbps (target 28.4)\n", m.MedianFull360Mbps(video.Highest))
+	// Per-tile data is what a fetch decision needs:
+	fmt.Printf("tile 70 chunk 0: %d bytes at QP42, %d at QP22\n",
+		m.TileSize(0, 70, video.Lowest), m.TileSize(0, 70, video.Highest))
+	fmt.Printf("PSNR rises with quality: %v\n",
+		m.TilePSNR(0, 70, video.Highest) > m.TilePSNR(0, 70, video.Lowest))
+	// Output:
+	// grid: 12x12, 60 chunks of 30 frames
+	// median full-360 bitrate at QP42: 3.1 Mbps (target 3.1)
+	// median full-360 bitrate at QP22: 28.4 Mbps (target 28.4)
+	// tile 70 chunk 0: 4046 bytes at QP42, 28266 at QP22
+	// PSNR rises with quality: true
+}

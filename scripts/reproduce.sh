@@ -1,0 +1,16 @@
+#!/bin/sh
+# Reproduce the full evaluation: every paper table/figure plus the
+# extension experiments, with CSV series for the distribution figures.
+#
+# Takes roughly half an hour on one core; see EXPERIMENTS.md for the
+# recorded output of a complete run.
+set -eu
+cd "$(dirname "$0")/.."
+
+go build ./...
+go test ./...
+
+mkdir -p results_csv
+go run ./cmd/experiment -run all -scale full -study-users 26 -csv results_csv | tee experiments_full.txt
+
+go test -bench=. -benchmem ./... | tee bench_output.txt
