@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"time"
 
@@ -30,6 +31,10 @@ func main() {
 	headFile := flag.String("head", "", "head-trace CSV to replay instead of a synthetic user")
 	duration := flag.Duration("duration", time.Minute, "synthetic head-trace duration")
 	seed := flag.Int64("seed", 1, "synthetic head-trace seed")
+	dialTimeout := flag.Duration("dial-timeout", client.DefaultDialTimeout, "TCP connect timeout")
+	reconnects := flag.Int("reconnect-attempts", 8, "redial budget per outage (0 = no fault tolerance)")
+	readTimeout := flag.Duration("read-timeout", 5*time.Second, "idle read deadline; the server heartbeats, so a silent link this long is dead")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "per-frame write deadline")
 	flag.Parse()
 
 	factory, ok := sim.Registry()[*schemeKey]
@@ -64,16 +69,19 @@ func main() {
 		})
 	}
 
-	conn, err := client.Dial(*addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer conn.Close()
+	dial := func() (net.Conn, error) { return client.DialTimeout(*addr, *dialTimeout) }
 
 	scheme := factory()
 	log.Printf("streaming %s with %s from %s ...", *videoID, scheme.Name(), *addr)
 	begin := time.Now()
-	met, err := client.Play(conn, *videoID, head, scheme, client.PlayOptions{})
+	met, err := client.PlayResilient(dial, *videoID, head, scheme, client.PlayOptions{
+		Reconnect: client.ReconnectPolicy{
+			MaxAttempts:  *reconnects,
+			ReadTimeout:  *readTimeout,
+			WriteTimeout: *writeTimeout,
+			Seed:         *seed,
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,6 +94,10 @@ func main() {
 	fmt.Printf("  startup delay     %s\n", met.StartupDelay.Round(time.Millisecond))
 	fmt.Printf("  rebuffering       %.2f%% (%d stalls)\n", 100*met.RebufferRatio(), met.StallEvents)
 	fmt.Printf("  incomplete frames %.2f%%\n", met.IncompleteFramePct())
+	if met.Disconnects > 0 {
+		fmt.Printf("  disconnects       %d (outage %s, %d tiles resumed)\n",
+			met.Disconnects, met.OutageDuration.Round(time.Millisecond), met.ResumedTiles)
+	}
 	fmt.Printf("  bytes received    %.2f MB (wastage %.1f%%)\n",
 		float64(met.BytesReceived)/1e6, met.WastagePct())
 	fmt.Printf("  tile sources      ")

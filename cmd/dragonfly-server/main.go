@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	dragonfly-server -addr :7360                 # serve the Table 3 dataset
-//	dragonfly-server -addr :7360 -bw trace.csv   # shape downstream bandwidth
+//	dragonfly-server -addr :7360                   # serve the Table 3 dataset
+//	dragonfly-server -addr :7360 -bw trace.csv     # shape downstream bandwidth
+//	dragonfly-server -addr :7360 -faults f.csv     # replay a fault script
 package main
 
 import (
@@ -29,6 +30,11 @@ func main() {
 	bwFile := flag.String("bw", "", "bandwidth trace CSV to shape each connection (empty = unshaped)")
 	latency := flag.Duration("latency", 0, "one-way propagation delay to add")
 	chunks := flag.Int("chunks", 60, "chunks per generated video (60 = 1 minute)")
+	faultFile := flag.String("faults", "", "fault schedule CSV to replay on the link (see EXPERIMENTS.md)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "per-connection read deadline (0 = none)")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline (0 = none)")
+	heartbeat := flag.Duration("heartbeat", server.DefaultHeartbeat, "idle-link ping interval (negative = off)")
+	maxQueue := flag.Int("max-queue", server.DefaultMaxQueue, "send-queue bound before slow-client shedding")
 	flag.Parse()
 
 	var manifests []*video.Manifest
@@ -44,6 +50,10 @@ func main() {
 	}
 	srv := server.New(manifests...)
 	srv.Logf = log.Printf
+	srv.ReadTimeout = *readTimeout
+	srv.WriteTimeout = *writeTimeout
+	srv.Heartbeat = *heartbeat
+	srv.MaxQueue = *maxQueue
 
 	var link netem.Link
 	if *bwFile != "" {
@@ -67,7 +77,20 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	var listener net.Listener = l
-	if link.Trace != nil || link.Latency > 0 {
+	if *faultFile != "" {
+		f, err := os.Open(*faultFile)
+		if err != nil {
+			log.Fatalf("open fault schedule: %v", err)
+		}
+		sched, err := netem.ReadFaultCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse fault schedule: %v", err)
+		}
+		fl := &netem.FaultLink{Link: link, Schedule: sched}
+		listener = &netem.FaultListener{Listener: l, FL: fl}
+		fmt.Printf("injecting %d faults (%d disconnects)\n", len(sched.Events), sched.Disconnects())
+	} else if link.Trace != nil || link.Latency > 0 {
 		listener = netem.WrapListener(l, link)
 	}
 

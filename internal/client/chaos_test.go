@@ -1,0 +1,189 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/netem"
+	"dragonfly/internal/player"
+	"dragonfly/internal/server"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/video"
+)
+
+// chaosSchedule cuts the link three times early in the session, while the
+// client still has most of the video left to fetch.
+func chaosSchedule() *netem.FaultSchedule {
+	return &netem.FaultSchedule{Events: []netem.FaultEvent{
+		{At: 250 * time.Millisecond, Kind: netem.FaultDisconnect},
+		{At: 700 * time.Millisecond, Kind: netem.FaultDisconnect},
+		{At: 1300 * time.Millisecond, Kind: netem.FaultDisconnect},
+	}}
+}
+
+// faultDialer returns a DialFunc that opens a fresh shaped pipe through fl
+// and runs a server session on the far end, modelling reconnections to the
+// same server over the same faulty path.
+func faultDialer(srv *server.Server, fl *netem.FaultLink) DialFunc {
+	return func() (net.Conn, error) {
+		clientConn, serverConn := fl.Pipe()
+		go func() {
+			defer serverConn.Close()
+			_ = srv.HandleConn(serverConn)
+		}()
+		return clientConn, nil
+	}
+}
+
+func checkAccounting(t *testing.T, met *player.Metrics) {
+	t.Helper()
+	if met.BytesUseful > met.BytesReceived {
+		t.Errorf("BytesUseful %d > BytesReceived %d", met.BytesUseful, met.BytesReceived)
+	}
+	sum := met.MaskingShare() + met.BlankShare()
+	for q := video.Quality(0); q < video.NumQualities; q++ {
+		sum += met.QualityShare(q)
+	}
+	if met.RenderedViewportTiles() > 0 && (sum < 0.999 || sum > 1.001) {
+		t.Errorf("render shares sum to %f", sum)
+	}
+}
+
+// TestPlayResilientSurvivesChaos is the chaos integration test of ISSUE.md:
+// a Dragonfly session over a shaped in-memory link that is hard-disconnected
+// three times mid-stream must finish — continuous playback, full frame
+// count — while the resume protocol keeps the server from ever re-sending a
+// primary tile the client already holds.
+func TestPlayResilientSurvivesChaos(t *testing.T) {
+	m := liveManifest()
+	srv := server.New(m)
+	srv.Heartbeat = 100 * time.Millisecond
+	sched := chaosSchedule()
+	fl := &netem.FaultLink{
+		Link:     netem.Link{Trace: &trace.BandwidthTrace{SamplePeriod: time.Second, Mbps: []float64{20}}},
+		Schedule: sched,
+	}
+	defer fl.Stop()
+
+	met, err := PlayResilient(faultDialer(srv, fl), "live", liveHead(4*time.Second), core.NewDefault(), PlayOptions{
+		Reconnect: ReconnectPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   20 * time.Millisecond,
+			MaxDelay:    200 * time.Millisecond,
+			ReadTimeout: 400 * time.Millisecond,
+			Seed:        42,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The session must have finished despite the outages.
+	if met.TotalFrames != m.NumFrames() {
+		t.Fatalf("rendered %d frames, want %d", met.TotalFrames, m.NumFrames())
+	}
+	if met.RebufferDuration != 0 {
+		t.Errorf("NeverStall session rebuffered %v", met.RebufferDuration)
+	}
+	if met.Truncated {
+		t.Error("session truncated")
+	}
+
+	// Every scheduled disconnect must have been observed and recovered from.
+	if met.Disconnects < sched.Disconnects() {
+		t.Errorf("Disconnects = %d, want >= %d", met.Disconnects, sched.Disconnects())
+	}
+	if met.OutageDuration <= 0 {
+		t.Errorf("OutageDuration = %v, want > 0", met.OutageDuration)
+	}
+	if met.ResumedTiles <= 0 {
+		t.Errorf("ResumedTiles = %d, want > 0", met.ResumedTiles)
+	}
+
+	// Server-side proof the resume protocol worked: the reconnections went
+	// through MsgResume, the summaries restored dedup state, and no primary
+	// tile was ever transmitted twice. The pipe is synchronous, so a primary
+	// the server counted was fully read (and recorded) by the client and is
+	// therefore present in the next resume summary.
+	c := srv.Counters()
+	if c.Resumes < int64(sched.Disconnects()) {
+		t.Errorf("server Resumes = %d, want >= %d", c.Resumes, sched.Disconnects())
+	}
+	if c.ResumedItems <= 0 {
+		t.Errorf("server ResumedItems = %d, want > 0", c.ResumedItems)
+	}
+	maxPrimaries := int64(m.NumChunks * m.NumTiles())
+	if c.PrimarySent > maxPrimaries {
+		t.Errorf("server sent %d primaries for %d (chunk,tile) slots: held tiles were re-sent", c.PrimarySent, maxPrimaries)
+	}
+
+	checkAccounting(t, met)
+}
+
+// TestPlayResilientBeatsNoReconnect runs the same fault script with and
+// without the reconnector: the resilient session must deliver strictly
+// better quality than one that gives up after the first cut.
+func TestPlayResilientBeatsNoReconnect(t *testing.T) {
+	run := func(reconnect bool) *player.Metrics {
+		m := liveManifest()
+		srv := server.New(m)
+		srv.Heartbeat = 100 * time.Millisecond
+		fl := &netem.FaultLink{
+			Link:     netem.Link{Trace: &trace.BandwidthTrace{SamplePeriod: time.Second, Mbps: []float64{20}}},
+			Schedule: chaosSchedule(),
+		}
+		defer fl.Stop()
+
+		dial := faultDialer(srv, fl)
+		if !reconnect {
+			// The first dial succeeds; every reconnection attempt fails, so
+			// the budget drains and the session plays out what it holds.
+			first := true
+			inner := dial
+			dial = func() (net.Conn, error) {
+				if !first {
+					return nil, fmt.Errorf("no route")
+				}
+				first = false
+				return inner()
+			}
+		}
+		met, err := PlayResilient(dial, "live", liveHead(4*time.Second), core.NewDefault(), PlayOptions{
+			Reconnect: ReconnectPolicy{
+				MaxAttempts: 4,
+				BaseDelay:   20 * time.Millisecond,
+				MaxDelay:    100 * time.Millisecond,
+				ReadTimeout: 400 * time.Millisecond,
+				Seed:        7,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAccounting(t, met)
+		return met
+	}
+
+	resilient := run(true)
+	cutoff := run(false)
+
+	// Both keep playing (NeverStall): masking arrives within the first few
+	// hundred milliseconds, so neither goes blank — but the cut-off session
+	// renders the rest of the video from low-quality masking while the
+	// resilient one recovers its primaries.
+	if cutoff.TotalFrames != resilient.TotalFrames {
+		t.Errorf("frame counts diverge: resilient %d, cutoff %d", resilient.TotalFrames, cutoff.TotalFrames)
+	}
+	if cutoff.MaskingShare() <= resilient.MaskingShare() {
+		t.Errorf("cutoff masking share %.3f should exceed resilient %.3f", cutoff.MaskingShare(), resilient.MaskingShare())
+	}
+	if cutoff.BytesReceived >= resilient.BytesReceived {
+		t.Errorf("cutoff received %d bytes, resilient only %d", cutoff.BytesReceived, resilient.BytesReceived)
+	}
+	if cutoff.MedianScore() >= resilient.MedianScore() {
+		t.Errorf("cutoff median %.2f should be below resilient %.2f", cutoff.MedianScore(), resilient.MedianScore())
+	}
+}

@@ -3,10 +3,18 @@
 // user head trace in wall-clock time and producing the same session metrics
 // as the discrete-event engine. This is the path exercised by the
 // cmd/dragonfly-client binary and the live-stream example.
+//
+// The client is fault tolerant: PlayResilient wraps the session in a
+// reconnector with read/write deadlines, exponential backoff with jitter,
+// and a per-outage attempt budget. During an outage the playback loop keeps
+// running in the NeverStall spirit — rendering from masking and accounting
+// holes as skips — and on reconnect the session resumes via proto.MsgResume
+// so already-held tiles are never re-downloaded.
 package client
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -19,6 +27,62 @@ import (
 	"dragonfly/internal/trace"
 	"dragonfly/internal/video"
 )
+
+// DialFunc re-establishes a server connection; the reconnector calls it on
+// every recovery attempt.
+type DialFunc func() (net.Conn, error)
+
+// ReconnectPolicy tunes the client's fault tolerance. The zero value
+// disables reconnection: a connection error ends the session, as it always
+// did for plain Play.
+type ReconnectPolicy struct {
+	// MaxAttempts is the dial budget per outage; 0 disables reconnection.
+	// When the budget is exhausted the session keeps playing what it holds
+	// (continuous playback accounts the holes as skips).
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (default 50 ms); it doubles per
+	// attempt up to MaxDelay (default 2 s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter adds a uniform random fraction of the delay (default 0.5),
+	// decorrelating reconnection herds; negative disables jitter.
+	Jitter float64
+	// ReadTimeout is the per-read idle deadline. The server heartbeats
+	// while its queue is idle, so a link silent for longer than this is
+	// treated as dead. 0 disables the deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each outgoing frame write. 0 disables it.
+	WriteTimeout time.Duration
+	// Seed feeds the jitter RNG so experiments replay deterministically.
+	Seed int64
+}
+
+// delay computes the backoff before the given (0-based) attempt.
+func (p ReconnectPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter > 0 {
+		d += time.Duration(float64(d) * jitter * rng.Float64())
+	}
+	return d
+}
 
 // PlayOptions tunes a session.
 type PlayOptions struct {
@@ -37,11 +101,36 @@ type PlayOptions struct {
 	// predictor (the Figs 21-23 methodology); 0 disables.
 	PredictErrorDeg  float64
 	PredictErrorSeed int64
+
+	// Reconnect enables fault tolerance (only effective through
+	// PlayResilient, which supplies the dialer).
+	Reconnect ReconnectPolicy
 }
 
 // Play streams videoID from the server behind conn using the given scheme,
 // replaying the head trace in real time, and returns the session metrics.
+// The connection is not re-established on failure; use PlayResilient for a
+// fault-tolerant session.
 func Play(conn net.Conn, videoID string, head *trace.HeadTrace, scheme player.Scheme, opts PlayOptions) (*player.Metrics, error) {
+	return play(conn, nil, videoID, head, scheme, opts)
+}
+
+// PlayResilient dials the server and streams videoID like Play, but
+// survives connection faults: on a read/write error or idle timeout it
+// redials with exponential backoff and resumes the session via the resume
+// protocol, while playback keeps running on whatever is already held.
+func PlayResilient(dial DialFunc, videoID string, head *trace.HeadTrace, scheme player.Scheme, opts PlayOptions) (*player.Metrics, error) {
+	if dial == nil {
+		return nil, fmt.Errorf("client: dial function is required")
+	}
+	conn, err := dial()
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	return play(conn, dial, videoID, head, scheme, opts)
+}
+
+func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, scheme player.Scheme, opts PlayOptions) (*player.Metrics, error) {
 	if head == nil || scheme == nil {
 		return nil, fmt.Errorf("client: head trace and scheme are required")
 	}
@@ -73,8 +162,15 @@ func Play(conn net.Conn, videoID string, head *trace.HeadTrace, scheme player.Sc
 		opts.MaxWall = 3*videoDur + 30*time.Second
 	}
 
+	seed := opts.Reconnect.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	s := &session{
 		conn:   conn,
+		dial:   dial,
+		rp:     opts.Reconnect,
+		rng:    rand.New(rand.NewSource(seed)),
 		m:      m,
 		head:   head,
 		scheme: scheme,
@@ -88,6 +184,7 @@ func Play(conn net.Conn, videoID string, head *trace.HeadTrace, scheme player.Sc
 		received:  player.NewReceived(m),
 		bwPred:    predict.NewBandwidth(0),
 		delivered: make(chan struct{}, 1),
+		fatal:     make(chan error, 1),
 		start:     time.Now(),
 	}
 	if opts.PredictErrorDeg > 0 {
@@ -101,7 +198,10 @@ func Play(conn net.Conn, videoID string, head *trace.HeadTrace, scheme player.Sc
 }
 
 type session struct {
-	conn   net.Conn
+	dial DialFunc
+	rp   ReconnectPolicy
+	rng  *rand.Rand // jitter source; reconnector goroutine only
+
 	m      *video.Manifest
 	head   *trace.HeadTrace
 	scheme player.Scheme
@@ -111,10 +211,16 @@ type session struct {
 	start time.Time
 
 	mu         sync.Mutex
+	conn       net.Conn // nil while disconnected
+	connID     int      // generation token invalidating stale receivers
+	down       bool     // an outage is in progress
+	downAt     time.Duration
+	linkDead   bool // reconnect budget exhausted or server said goodbye
 	received   *player.Received
 	deliveries []player.Delivery
 	lastEvent  time.Duration // last send/receive instant, for throughput
 	bwPred     *predict.Bandwidth
+	lastReq    []player.RequestItem
 	// finished marks the session complete: late deliveries (the receiver
 	// may outlive Play when the caller keeps the connection open) are
 	// dropped instead of racing with the returned metrics.
@@ -125,18 +231,38 @@ type session struct {
 	met    *player.Metrics
 
 	delivered chan struct{}
+	fatal     chan error
 
 	gen uint32
 }
 
 func (s *session) now() time.Duration { return time.Since(s.start) }
 
-// receiver drains TileData frames into the received state.
-func (s *session) receiver(done chan<- error) {
+func (s *session) wakeLoop() {
+	select {
+	case s.delivered <- struct{}{}:
+	default:
+	}
+}
+
+func (s *session) reportFatal(err error) {
+	select {
+	case s.fatal <- err:
+	default:
+	}
+}
+
+// receiver drains TileData frames from one connection into the received
+// state; id identifies the connection so a stale receiver cannot report an
+// outage for a link that has already been replaced.
+func (s *session) receiver(conn net.Conn, id int) {
 	for {
-		msg, err := proto.ReadMessage(s.conn)
+		if s.rp.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.rp.ReadTimeout))
+		}
+		msg, err := proto.ReadMessage(conn)
 		if err != nil {
-			done <- err
+			s.linkLost(id, err)
 			return
 		}
 		switch msg.Type {
@@ -156,26 +282,159 @@ func (s *session) receiver(done chan<- error) {
 			}
 			s.lastEvent = at
 			s.mu.Unlock()
-			select {
-			case s.delivered <- struct{}{}:
-			default:
-			}
+			s.wakeLoop()
+		case proto.MsgPing:
+			// Heartbeat: the link is idle but alive.
 		case proto.MsgBye:
-			done <- nil
+			// Server finished (or drained on shutdown): no more data will
+			// ever arrive on this session; keep playing what we have.
+			s.mu.Lock()
+			if s.connID == id {
+				s.linkDead = true
+			}
+			s.mu.Unlock()
 			return
 		case proto.MsgError:
-			done <- fmt.Errorf("client: server error: %s", msg.Error)
+			s.reportFatal(fmt.Errorf("client: server error: %s", msg.Error))
 			return
 		default:
-			done <- fmt.Errorf("client: unexpected message type %d", msg.Type)
+			s.reportFatal(fmt.Errorf("client: unexpected message type %d", msg.Type))
 			return
 		}
 	}
 }
 
+// linkLost handles a connection failure on conn id: fatal for a plain Play
+// session, otherwise the start of an outage with a reconnector behind it.
+func (s *session) linkLost(id int, err error) {
+	s.mu.Lock()
+	if s.finished || id != s.connID || s.down || s.linkDead {
+		s.mu.Unlock()
+		return
+	}
+	if s.dial == nil || s.rp.MaxAttempts <= 0 {
+		s.mu.Unlock()
+		s.reportFatal(fmt.Errorf("client: connection: %w", err))
+		return
+	}
+	s.down = true
+	s.downAt = s.now()
+	s.met.Disconnects++
+	old := s.conn
+	s.conn = nil
+	s.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	go s.reconnectLoop()
+}
+
+// reconnectLoop dials with jittered exponential backoff and resumes the
+// session; when the attempt budget runs out the link is declared dead and
+// playback carries on with what is held.
+func (s *session) reconnectLoop() {
+	for attempt := 0; attempt < s.rp.MaxAttempts; attempt++ {
+		time.Sleep(s.rp.delay(attempt, s.rng))
+		s.mu.Lock()
+		if s.finished {
+			s.mu.Unlock()
+			return
+		}
+		sum := s.received.Summary()
+		s.mu.Unlock()
+
+		conn, err := s.dial()
+		if err != nil {
+			continue
+		}
+		if err := s.resume(conn, sum); err != nil {
+			conn.Close()
+			continue
+		}
+
+		s.mu.Lock()
+		if s.finished {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.connID++
+		id := s.connID
+		s.conn = conn
+		s.down = false
+		now := s.now()
+		s.met.OutageDuration += now - s.downAt
+		s.met.ResumedTiles += int64(sum.Count())
+		// Do not bill the outage to the throughput predictor.
+		s.lastEvent = now
+		req := s.lastReq
+		s.gen++
+		gen := s.gen
+		s.mu.Unlock()
+
+		go s.receiver(conn, id)
+		// Re-issue the outstanding fetch list immediately rather than
+		// waiting for the next decision epoch.
+		if len(req) > 0 {
+			s.writeRequest(conn, id, gen, req)
+		}
+		s.wakeLoop()
+		return
+	}
+	s.mu.Lock()
+	s.linkDead = true
+	s.mu.Unlock()
+	s.wakeLoop()
+}
+
+// resume performs the resume handshake on a fresh connection.
+func (s *session) resume(conn net.Conn, sum player.HeldSummary) error {
+	if s.rp.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.rp.WriteTimeout))
+	}
+	if err := proto.WriteResume(conn, proto.Resume{
+		Version: proto.ProtoVersion,
+		VideoID: s.m.VideoID,
+		Held:    sum,
+	}); err != nil {
+		return fmt.Errorf("client: resume: %w", err)
+	}
+	handshake := s.rp.ReadTimeout
+	if handshake <= 0 {
+		handshake = 10 * time.Second
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(handshake))
+	msg, err := proto.ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("client: resume ack: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	switch msg.Type {
+	case proto.MsgManifest:
+		return nil
+	case proto.MsgError:
+		return fmt.Errorf("client: resume rejected: %s", msg.Error)
+	default:
+		return fmt.Errorf("client: resume expected manifest, got type %d", msg.Type)
+	}
+}
+
+// writeRequest ships one fetch list on conn id, treating a failure as a
+// link loss.
+func (s *session) writeRequest(conn net.Conn, id int, gen uint32, items []player.RequestItem) {
+	if s.rp.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.rp.WriteTimeout))
+	}
+	if err := proto.WriteRequest(conn, proto.Request{Generation: gen, Items: items}); err != nil {
+		s.linkLost(id, fmt.Errorf("send request: %w", err))
+	}
+}
+
 func (s *session) run() (*player.Metrics, error) {
-	recvErr := make(chan error, 1)
-	go s.receiver(recvErr)
+	s.mu.Lock()
+	conn, id := s.conn, s.connID
+	s.mu.Unlock()
+	go s.receiver(conn, id)
 
 	policy := s.scheme.StallPolicy()
 	interval := s.scheme.DecisionInterval()
@@ -267,9 +526,7 @@ func (s *session) run() (*player.Metrics, error) {
 		}
 		tryResume(now)
 		if now >= nextDecision {
-			if err := s.decide(now, playFrame, stalled, nextFrameAt, frameDur); err != nil {
-				return nil, err
-			}
+			s.decide(now, playFrame, stalled, nextFrameAt, frameDur)
 			nextDecision = now + interval
 		}
 		if !stalled && now >= nextFrameAt && playFrame < totalFrames {
@@ -288,7 +545,7 @@ func (s *session) run() (*player.Metrics, error) {
 			break
 		}
 
-		// Sleep until the next event, or wake on a delivery.
+		// Sleep until the next event, or wake on a delivery/reconnect.
 		wake := nextHead
 		if nextDecision < wake {
 			wake = nextDecision
@@ -302,31 +559,35 @@ func (s *session) run() (*player.Metrics, error) {
 			case <-timer.C:
 			case <-s.delivered:
 				timer.Stop()
-			case err := <-recvErr:
+			case err := <-s.fatal:
 				timer.Stop()
-				if err != nil {
-					return nil, fmt.Errorf("client: receive: %w", err)
-				}
-				// Connection closed cleanly; keep playing what we have and
-				// stop watching the (now idle) receiver.
-				recvErr = nil
+				return nil, err
 			}
 		}
 	}
 
 	s.met.WallDuration = s.now()
 	s.met.PlayDuration = time.Duration(s.met.TotalFrames) * frameDur
-	_ = proto.WriteBye(s.conn)
 
 	s.mu.Lock()
 	s.finished = true
+	if s.down {
+		// Close the open outage interval: the session ended disconnected.
+		s.met.OutageDuration += s.now() - s.downAt
+		s.down = false
+	}
+	conn = s.conn
 	s.acct.FinishWastage(s.deliveries)
 	s.mu.Unlock()
+	if conn != nil {
+		_ = proto.WriteBye(conn)
+	}
 	return s.met, nil
 }
 
-// decide runs the scheme and ships the resulting fetch list.
-func (s *session) decide(now time.Duration, playFrame int, stalled bool, nextFrameAt time.Duration, frameDur time.Duration) error {
+// decide runs the scheme and ships the resulting fetch list; during an
+// outage the list is recorded and shipped by the reconnector instead.
+func (s *session) decide(now time.Duration, playFrame int, stalled bool, nextFrameAt time.Duration, frameDur time.Duration) {
 	s.mu.Lock()
 	mbps := s.bwPred.PredictMbps()
 	s.mu.Unlock()
@@ -356,19 +617,30 @@ func (s *session) decide(now time.Duration, playFrame int, stalled bool, nextFra
 	items := s.scheme.Decide(ctx)
 	s.gen++
 	gen := s.gen
+	s.lastReq = items
 	if now > s.lastEvent {
 		s.lastEvent = now
 	}
+	conn, id := s.conn, s.connID
 	s.mu.Unlock()
-	if err := proto.WriteRequest(s.conn, proto.Request{Generation: gen, Items: items}); err != nil {
-		return fmt.Errorf("client: send request: %w", err)
+	if conn == nil {
+		return // disconnected; the reconnector re-issues lastReq on resume
 	}
-	return nil
+	s.writeRequest(conn, id, gen, items)
 }
 
-// Dial connects to a Dragonfly server over TCP.
+// DefaultDialTimeout bounds Dial when no explicit timeout is given.
+const DefaultDialTimeout = 10 * time.Second
+
+// Dial connects to a Dragonfly server over TCP with the default timeout.
 func Dial(addr string) (net.Conn, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout connects to a Dragonfly server over TCP, failing after the
+// given timeout instead of hanging on an unresponsive address.
+func DialTimeout(addr string, timeout time.Duration) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}

@@ -300,7 +300,7 @@ func TestTablesPrint(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All(4)
-	if len(all) != 20 {
+	if len(all) != 21 {
 		t.Errorf("registry has %d experiments", len(all))
 	}
 	seen := map[string]bool{}
@@ -395,6 +395,34 @@ func TestExtMaskingOptimizations(t *testing.T) {
 	// The scheduled variant stays within ~2 dB of the plain one.
 	if d := sched.Score.Median - plain.Score.Median; d < -2 || d > 2 {
 		t.Errorf("scheduled masking diverged: %.2f vs %.2f", sched.Score.Median, plain.Score.Median)
+	}
+}
+
+func TestExtFaultTolerance(t *testing.T) {
+	// Real-time sessions: a few seconds of wall clock each.
+	var buf bytes.Buffer
+	out, err := ExtFaultTolerance(testEnv(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok1 := out["resilient"]
+	cut, ok2 := out["no-reconnect"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing rows: %v", out)
+	}
+	if res.Metrics.Disconnects < 3 {
+		t.Errorf("resilient saw %d disconnects, want >= 3", res.Metrics.Disconnects)
+	}
+	if res.Counters.Resumes < 3 || res.Counters.ResumedItems <= 0 {
+		t.Errorf("resume machinery idle: %+v", res.Counters)
+	}
+	// Headline: surviving the cuts yields strictly better quality.
+	if cut.Metrics.MedianScore() >= res.Metrics.MedianScore() {
+		t.Errorf("no-reconnect median %.2f not below resilient %.2f",
+			cut.Metrics.MedianScore(), res.Metrics.MedianScore())
+	}
+	if !strings.Contains(buf.String(), "fault tolerance") {
+		t.Error("report missing header")
 	}
 }
 

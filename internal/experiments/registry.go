@@ -71,6 +71,8 @@ func All(numStudyUsers int) []Experiment {
 			Run: func(env *Env, w io.Writer) error { _, err := ExtRoIGeometry(env, w); return err }},
 		{ID: "ext-masking", Description: "extension: §3.2 masking optimizations (scheduled + interpolation)",
 			Run: func(env *Env, w io.Writer) error { _, err := ExtMaskingOptimizations(env, w); return err }},
+		{ID: "ext-fault", Description: "extension: fault tolerance (reconnect + resume vs no-reconnect)",
+			Run: func(env *Env, w io.Writer) error { _, err := ExtFaultTolerance(env, w); return err }},
 	}
 }
 

@@ -1,0 +1,331 @@
+package netem
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// FaultKind enumerates the injectable network faults: the outages and
+// disconnects real cellular traces contain but pure bandwidth shaping
+// cannot reproduce (paper §4.5 uses Mahimahi the same way).
+type FaultKind uint8
+
+const (
+	// FaultBlackout zeroes the link bandwidth for Duration.
+	FaultBlackout FaultKind = iota
+	// FaultDisconnect hard-closes the live connection at At.
+	FaultDisconnect
+	// FaultLatencySpike adds ExtraLatency to writes during Duration.
+	FaultLatencySpike
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultBlackout:
+		return "blackout"
+	case FaultDisconnect:
+		return "disconnect"
+	case FaultLatencySpike:
+		return "spike"
+	}
+	return fmt.Sprintf("faultkind(%d)", uint8(k))
+}
+
+// ParseFaultKind parses the CSV spelling of a fault kind.
+func ParseFaultKind(s string) (FaultKind, error) {
+	switch s {
+	case "blackout":
+		return FaultBlackout, nil
+	case "disconnect":
+		return FaultDisconnect, nil
+	case "spike":
+		return FaultLatencySpike, nil
+	}
+	return 0, fmt.Errorf("netem: unknown fault kind %q", s)
+}
+
+// FaultEvent is one scheduled fault on the link timeline.
+type FaultEvent struct {
+	At           time.Duration // offset from the link epoch
+	Kind         FaultKind
+	Duration     time.Duration // blackout/spike window length
+	ExtraLatency time.Duration // spike only: added per write
+}
+
+// FaultSchedule is a replayable fault script: the same schedule run against
+// every scheme makes fault-tolerance results comparable.
+type FaultSchedule struct {
+	Events []FaultEvent
+}
+
+// Disconnects counts the hard-disconnect events in the schedule.
+func (fs *FaultSchedule) Disconnects() int {
+	n := 0
+	for _, e := range fs.Events {
+		if e.Kind == FaultDisconnect {
+			n++
+		}
+	}
+	return n
+}
+
+// sorted returns the events ordered by At.
+func (fs *FaultSchedule) sorted() []FaultEvent {
+	evs := append([]FaultEvent(nil), fs.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// ReadFaultCSV parses a fault schedule. The format (EXPERIMENTS.md) is
+//
+//	at_s,kind,duration_s,extra_latency_ms
+//	1.5,disconnect,0,0
+//	4.0,blackout,2.0,0
+//	8.2,spike,1.0,300
+//
+// with an optional header row; kind is blackout, disconnect, or spike.
+func ReadFaultCSV(r io.Reader) (*FaultSchedule, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	fs := &FaultSchedule{}
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netem: fault csv: %w", err)
+		}
+		if line == 1 && rec[0] == "at_s" {
+			continue
+		}
+		at, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("netem: fault csv line %d: bad at %q", line, rec[0])
+		}
+		kind, err := ParseFaultKind(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("netem: fault csv line %d: %w", line, err)
+		}
+		dur, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil || dur < 0 {
+			return nil, fmt.Errorf("netem: fault csv line %d: bad duration %q", line, rec[2])
+		}
+		lat, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil || lat < 0 {
+			return nil, fmt.Errorf("netem: fault csv line %d: bad latency %q", line, rec[3])
+		}
+		// Round rather than truncate: 8.2 s is not representable exactly in
+		// float64 and must not come back as 8.199999999 s.
+		fs.Events = append(fs.Events, FaultEvent{
+			At:           time.Duration(math.Round(at * float64(time.Second))),
+			Kind:         kind,
+			Duration:     time.Duration(math.Round(dur * float64(time.Second))),
+			ExtraLatency: time.Duration(math.Round(lat * float64(time.Millisecond))),
+		})
+	}
+	return fs, nil
+}
+
+// WriteCSV emits the schedule in the ReadFaultCSV format, with header.
+func (fs *FaultSchedule) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_s", "kind", "duration_s", "extra_latency_ms"}); err != nil {
+		return err
+	}
+	for _, e := range fs.sorted() {
+		rec := []string{
+			strconv.FormatFloat(e.At.Seconds(), 'g', -1, 64),
+			e.Kind.String(),
+			strconv.FormatFloat(e.Duration.Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(float64(e.ExtraLatency)/float64(time.Millisecond), 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FaultGenParams seeds a random fault schedule.
+type FaultGenParams struct {
+	Seed     int64
+	Duration time.Duration // session span the events are spread over
+
+	Disconnects   int
+	Blackouts     int
+	BlackoutMean  time.Duration // mean blackout length (default 1 s)
+	Spikes        int
+	SpikeLatency  time.Duration // added latency per spike (default 200 ms)
+	SpikeDuration time.Duration // spike window (default 1 s)
+}
+
+// GenerateFaults builds a seeded schedule: identical seeds replay the same
+// fault script, so every scheme in an experiment faces the same outages.
+func GenerateFaults(p FaultGenParams) *FaultSchedule {
+	rng := rand.New(rand.NewSource(p.Seed))
+	if p.BlackoutMean <= 0 {
+		p.BlackoutMean = time.Second
+	}
+	if p.SpikeLatency <= 0 {
+		p.SpikeLatency = 200 * time.Millisecond
+	}
+	if p.SpikeDuration <= 0 {
+		p.SpikeDuration = time.Second
+	}
+	at := func() time.Duration {
+		return time.Duration(rng.Float64() * float64(p.Duration))
+	}
+	fs := &FaultSchedule{}
+	for i := 0; i < p.Disconnects; i++ {
+		fs.Events = append(fs.Events, FaultEvent{At: at(), Kind: FaultDisconnect})
+	}
+	for i := 0; i < p.Blackouts; i++ {
+		d := time.Duration((0.5 + rng.Float64()) * float64(p.BlackoutMean))
+		fs.Events = append(fs.Events, FaultEvent{At: at(), Kind: FaultBlackout, Duration: d})
+	}
+	for i := 0; i < p.Spikes; i++ {
+		fs.Events = append(fs.Events, FaultEvent{
+			At: at(), Kind: FaultLatencySpike,
+			Duration: p.SpikeDuration, ExtraLatency: p.SpikeLatency,
+		})
+	}
+	fs.Events = fs.sorted()
+	return fs
+}
+
+// FaultLink injects a scheduled fault script into connections built on top
+// of a shaped Link. The timeline is anchored at the first wrapped
+// connection and shared by every subsequent one, so the script replays
+// identically across schemes, and each disconnect event fires exactly once
+// — against whichever connection is live at that instant — which is what
+// exercises a reconnecting client end to end.
+type FaultLink struct {
+	Link     Link
+	Schedule *FaultSchedule
+
+	mu      sync.Mutex
+	armed   bool
+	start   time.Time
+	current net.Conn
+	timers  []*time.Timer
+}
+
+// Wrap shapes inner with the link and attaches it to the fault timeline as
+// the live connection.
+func (fl *FaultLink) Wrap(inner net.Conn) net.Conn {
+	fc := &faultConn{Conn: NewConn(inner, fl.Link), fl: fl}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if !fl.armed {
+		fl.armed = true
+		fl.start = time.Now()
+		if fl.Schedule != nil {
+			for _, ev := range fl.Schedule.Events {
+				if ev.Kind != FaultDisconnect {
+					continue
+				}
+				fl.timers = append(fl.timers, time.AfterFunc(ev.At, fl.disconnectCurrent))
+			}
+		}
+	}
+	fl.current = fc
+	return fc
+}
+
+// Pipe returns an in-memory client/server pair whose server side is shaped
+// and fault-injected; successive calls share the fault timeline, modelling
+// reconnections over the same faulty path.
+func (fl *FaultLink) Pipe() (client, server net.Conn) {
+	c, s := net.Pipe()
+	return c, fl.Wrap(s)
+}
+
+// Stop cancels any pending fault timers (test cleanup).
+func (fl *FaultLink) Stop() {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	for _, t := range fl.timers {
+		t.Stop()
+	}
+	fl.timers = nil
+}
+
+// disconnectCurrent hard-closes whichever connection is live right now.
+func (fl *FaultLink) disconnectCurrent() {
+	fl.mu.Lock()
+	c := fl.current
+	fl.current = nil
+	fl.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// writeDelay is the stall a write starting now must absorb: the remainder
+// of any active blackout window plus any active latency spikes.
+func (fl *FaultLink) writeDelay() time.Duration {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if !fl.armed || fl.Schedule == nil {
+		return 0
+	}
+	el := time.Since(fl.start)
+	var d time.Duration
+	for _, ev := range fl.Schedule.Events {
+		switch ev.Kind {
+		case FaultBlackout:
+			if el >= ev.At && el < ev.At+ev.Duration {
+				if rem := ev.At + ev.Duration - el; rem > d {
+					d = rem
+				}
+			}
+		case FaultLatencySpike:
+			if el >= ev.At && el < ev.At+ev.Duration {
+				d += ev.ExtraLatency
+			}
+		}
+	}
+	return d
+}
+
+// faultConn applies the fault timeline on top of a shaped connection.
+type faultConn struct {
+	net.Conn // the shaped *Conn
+	fl       *FaultLink
+}
+
+// Write stalls through blackout windows and latency spikes, then paces the
+// bytes through the shaped link.
+func (c *faultConn) Write(p []byte) (int, error) {
+	if d := c.fl.writeDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}
+
+// FaultListener wraps accepted connections with the same fault link, so a
+// TCP server can be exercised under a replayable fault script.
+type FaultListener struct {
+	net.Listener
+	FL *FaultLink
+}
+
+// Accept waits for the next connection and attaches it to the fault link.
+func (l *FaultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.FL.Wrap(c), nil
+}

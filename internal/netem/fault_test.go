@@ -1,0 +1,174 @@
+package netem
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultCSVRoundTrip(t *testing.T) {
+	fs := &FaultSchedule{Events: []FaultEvent{
+		{At: 1500 * time.Millisecond, Kind: FaultDisconnect},
+		{At: 4 * time.Second, Kind: FaultBlackout, Duration: 2 * time.Second},
+		{At: 8200 * time.Millisecond, Kind: FaultLatencySpike, Duration: time.Second, ExtraLatency: 300 * time.Millisecond},
+	}}
+	var sb strings.Builder
+	if err := fs.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFaultCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, fs.Events) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got.Events, fs.Events)
+	}
+	if got.Disconnects() != 1 {
+		t.Errorf("Disconnects = %d", got.Disconnects())
+	}
+}
+
+func TestReadFaultCSVWithoutHeader(t *testing.T) {
+	fs, err := ReadFaultCSV(strings.NewReader("0.5,disconnect,0,0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Events) != 1 || fs.Events[0].Kind != FaultDisconnect || fs.Events[0].At != 500*time.Millisecond {
+		t.Errorf("parsed %+v", fs.Events)
+	}
+}
+
+func TestReadFaultCSVErrors(t *testing.T) {
+	for _, bad := range []string{
+		"x,disconnect,0,0\n",     // bad offset
+		"-1,disconnect,0,0\n",    // negative offset
+		"1,meteor,0,0\n",         // unknown kind
+		"1,blackout,oops,0\n",    // bad duration
+		"1,spike,1,-5\n",         // negative latency
+		"1,spike,1\n",            // short record
+		"at_s,kind\n1,spike,1\n", // short header
+	} {
+		if _, err := ReadFaultCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseFaultKind(t *testing.T) {
+	for _, k := range []FaultKind{FaultBlackout, FaultDisconnect, FaultLatencySpike} {
+		got, err := ParseFaultKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseFaultKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseFaultKind("nope"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestGenerateFaultsDeterministic(t *testing.T) {
+	p := FaultGenParams{Seed: 9, Duration: 10 * time.Second, Disconnects: 3, Blackouts: 2, Spikes: 1}
+	a, b := GenerateFaults(p), GenerateFaults(p)
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Error("same seed produced different schedules")
+	}
+	if a.Disconnects() != 3 {
+		t.Errorf("Disconnects = %d", a.Disconnects())
+	}
+	if len(a.Events) != 6 {
+		t.Errorf("generated %d events", len(a.Events))
+	}
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].At < a.Events[i-1].At {
+			t.Error("events not sorted")
+		}
+	}
+	c := GenerateFaults(FaultGenParams{Seed: 10, Duration: 10 * time.Second, Disconnects: 3, Blackouts: 2, Spikes: 1})
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestFaultLinkDisconnectClosesCurrentConn(t *testing.T) {
+	fl := &FaultLink{Schedule: &FaultSchedule{Events: []FaultEvent{
+		{At: 50 * time.Millisecond, Kind: FaultDisconnect},
+	}}}
+	defer fl.Stop()
+
+	c, s := fl.Pipe()
+	defer c.Close()
+	// A read on the client side unblocks with an error once the timer
+	// hard-closes the server side.
+	errc := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := c.Read(buf)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("read succeeded across a disconnect")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("disconnect never fired")
+	}
+	_ = s
+
+	// The next pipe over the same link works: the disconnect fired once.
+	c2, s2 := fl.Pipe()
+	defer c2.Close()
+	defer s2.Close()
+	go func() { _, _ = s2.Write([]byte("ok")) }()
+	buf := make([]byte, 2)
+	if _, err := c2.Read(buf); err != nil {
+		t.Fatalf("reconnected pipe broken: %v", err)
+	}
+}
+
+func TestFaultLinkBlackoutStallsWrites(t *testing.T) {
+	fl := &FaultLink{Schedule: &FaultSchedule{Events: []FaultEvent{
+		{At: 0, Kind: FaultBlackout, Duration: 300 * time.Millisecond},
+	}}}
+	defer fl.Stop()
+	c, s := fl.Pipe()
+	defer c.Close()
+	defer s.Close()
+
+	done := make(chan time.Duration, 1)
+	go func() {
+		buf := make([]byte, 2)
+		start := time.Now()
+		_, _ = c.Read(buf)
+		done <- time.Since(start)
+	}()
+	if _, err := s.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if d := <-done; d < 200*time.Millisecond {
+		t.Errorf("write crossed a blackout after only %v", d)
+	}
+}
+
+func TestFaultLinkSpikeDelaysWrites(t *testing.T) {
+	fl := &FaultLink{Schedule: &FaultSchedule{Events: []FaultEvent{
+		{At: 0, Kind: FaultLatencySpike, Duration: time.Second, ExtraLatency: 150 * time.Millisecond},
+	}}}
+	defer fl.Stop()
+	c, s := fl.Pipe()
+	defer c.Close()
+	defer s.Close()
+
+	go func() {
+		buf := make([]byte, 2)
+		_, _ = c.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := s.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Errorf("spiked write returned after only %v", d)
+	}
+}

@@ -53,6 +53,13 @@ type Metrics struct {
 	BytesReceived int64
 	BytesUseful   int64
 
+	// Fault-tolerance accounting (robustness extension): connection losses
+	// survived by the reconnecting client, wall time spent disconnected,
+	// and dedup entries restored on the server via session resume.
+	Disconnects    int
+	OutageDuration time.Duration
+	ResumedTiles   int64
+
 	// Rendered viewport-tile counts by source (Fig 13(b)).
 	RenderedPrimaryByQuality [video.NumQualities]int64
 	RenderedMasking          int64

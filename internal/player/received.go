@@ -1,6 +1,7 @@
 package player
 
 import (
+	"math/bits"
 	"time"
 
 	"dragonfly/internal/geom"
@@ -107,4 +108,85 @@ func (r *Received) HasMasking(chunk int, tile geom.TileID) bool {
 // HasFullMasking reports whether the full-360° masking chunk has arrived.
 func (r *Received) HasFullMasking(chunk int) bool {
 	return r.maskFullAt[chunk] != notReceived
+}
+
+// HeldSummary is a compact bitmap snapshot of which tile variants a client
+// holds, independent of quality level — exactly the granularity of the
+// server's redundancy-suppression state, so a reconnecting client can ship
+// it in a resume handshake and never re-download a held tile.
+type HeldSummary struct {
+	NumChunks, NumTiles int
+	// Primary and MaskTile are bitmaps over chunk*NumTiles+tile; MaskFull
+	// is a bitmap over chunk.
+	Primary  []byte
+	MaskTile []byte
+	MaskFull []byte
+}
+
+func bitGet(b []byte, i int) bool { return b[i>>3]&(1<<uint(i&7)) != 0 }
+func bitSet(b []byte, i int)      { b[i>>3] |= 1 << uint(i&7) }
+
+// Summary captures the current held state as bitmaps.
+func (r *Received) Summary() HeldSummary {
+	tiles := r.m.NumTiles()
+	h := HeldSummary{
+		NumChunks: r.m.NumChunks,
+		NumTiles:  tiles,
+		Primary:   make([]byte, (r.m.NumChunks*tiles+7)/8),
+		MaskTile:  make([]byte, (r.m.NumChunks*tiles+7)/8),
+		MaskFull:  make([]byte, (r.m.NumChunks+7)/8),
+	}
+	for ct := 0; ct < r.m.NumChunks*tiles; ct++ {
+		for q := 0; q < video.NumQualities; q++ {
+			if r.primaryAt[ct*video.NumQualities+q] != notReceived {
+				bitSet(h.Primary, ct)
+				break
+			}
+		}
+		if r.maskTileAt[ct] != notReceived {
+			bitSet(h.MaskTile, ct)
+		}
+	}
+	for c := 0; c < r.m.NumChunks; c++ {
+		if r.maskFullAt[c] != notReceived {
+			bitSet(h.MaskFull, c)
+		}
+	}
+	return h
+}
+
+// Valid reports whether the bitmap lengths match the declared dimensions.
+func (h HeldSummary) Valid() bool {
+	if h.NumChunks < 0 || h.NumTiles < 0 {
+		return false
+	}
+	perTile := (h.NumChunks*h.NumTiles + 7) / 8
+	perChunk := (h.NumChunks + 7) / 8
+	return len(h.Primary) == perTile && len(h.MaskTile) == perTile && len(h.MaskFull) == perChunk
+}
+
+// HasPrimary reports whether any primary variant of the tile is held.
+func (h HeldSummary) HasPrimary(chunk, tile int) bool {
+	return bitGet(h.Primary, chunk*h.NumTiles+tile)
+}
+
+// HasMaskTile reports whether the tiled masking variant is held.
+func (h HeldSummary) HasMaskTile(chunk, tile int) bool {
+	return bitGet(h.MaskTile, chunk*h.NumTiles+tile)
+}
+
+// HasMaskFull reports whether the full-360° masking chunk is held.
+func (h HeldSummary) HasMaskFull(chunk int) bool {
+	return bitGet(h.MaskFull, chunk)
+}
+
+// Count is the total number of held entries across all three maps.
+func (h HeldSummary) Count() int {
+	n := 0
+	for _, m := range [][]byte{h.Primary, h.MaskTile, h.MaskFull} {
+		for _, b := range m {
+			n += bits.OnesCount8(b)
+		}
+	}
+	return n
 }

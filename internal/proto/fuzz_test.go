@@ -13,7 +13,7 @@ import (
 // under plain `go test` the seed corpus below runs as regression cases.
 func FuzzReadMessage(f *testing.F) {
 	// Seed with valid frames of every type plus known-bad shapes.
-	var hello, req, tile, bye bytes.Buffer
+	var hello, req, tile, bye, ping, resume bytes.Buffer
 	_ = WriteHello(&hello, Hello{VideoID: "v1"})
 	_ = WriteRequest(&req, Request{Generation: 3, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 1, Tile: 2, Quality: 3},
@@ -23,10 +23,19 @@ func FuzzReadMessage(f *testing.F) {
 		Payload: []byte{1, 2, 3},
 	})
 	_ = WriteBye(&bye)
+	_ = WritePing(&ping)
+	_ = WriteResume(&resume, Resume{Version: ProtoVersion, VideoID: "v1", Held: player.HeldSummary{
+		NumChunks: 2, NumTiles: 4,
+		Primary:  []byte{0x81},
+		MaskTile: []byte{0x10},
+		MaskFull: []byte{0x01},
+	}})
 	f.Add(hello.Bytes())
 	f.Add(req.Bytes())
 	f.Add(tile.Bytes())
 	f.Add(bye.Bytes())
+	f.Add(ping.Bytes())
+	f.Add(resume.Bytes())
 	f.Add([]byte{0, 0, 0, 1, 99})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
 	f.Add([]byte{})
@@ -36,13 +45,75 @@ func FuzzReadMessage(f *testing.F) {
 		if err == nil && msg == nil {
 			t.Fatal("nil message without error")
 		}
+		if err != nil {
+			return
+		}
 		// Decoded messages must be internally consistent.
-		if err == nil && msg.Type == MsgRequest {
+		switch msg.Type {
+		case MsgRequest:
 			for _, it := range msg.Request.Items {
 				if !it.Quality.Valid() {
 					t.Fatalf("decoded invalid quality %d", it.Quality)
 				}
 			}
+		case MsgResume:
+			if !msg.Resume.Held.Valid() {
+				t.Fatalf("decoded inconsistent held summary %+v", msg.Resume.Held)
+			}
 		}
+	})
+}
+
+// FuzzParseTileData targets the tile-payload decoder directly: arbitrary
+// bodies must decode to a consistent item or fail cleanly.
+func FuzzParseTileData(f *testing.F) {
+	var tile bytes.Buffer
+	_ = WriteTileData(&tile, TileData{
+		Item:    player.RequestItem{Stream: player.Primary, Chunk: 7, Tile: 11, Quality: 2},
+		Payload: []byte("payload"),
+	})
+	f.Add(tile.Bytes()[5:]) // body only: skip length+type
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, itemWireSize))
+	f.Add(bytes.Repeat([]byte{0}, itemWireSize-1))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		td, err := parseTileData(body)
+		if err != nil {
+			return
+		}
+		if !td.Item.Quality.Valid() {
+			t.Fatalf("decoded invalid quality %d", td.Item.Quality)
+		}
+		if len(td.Payload) != len(body)-itemWireSize {
+			t.Fatalf("payload length %d from %d-byte body", len(td.Payload), len(body))
+		}
+	})
+}
+
+// FuzzParseResume hammers the resume decoder: it must never panic and
+// never produce an inconsistent summary.
+func FuzzParseResume(f *testing.F) {
+	var resume bytes.Buffer
+	_ = WriteResume(&resume, Resume{Version: ProtoVersion, VideoID: "vv", Held: player.HeldSummary{
+		NumChunks: 3, NumTiles: 3,
+		Primary:  []byte{0xAA, 0x01},
+		MaskTile: []byte{0x55, 0x00},
+		MaskFull: []byte{0x07},
+	}})
+	f.Add(resume.Bytes()[5:])
+	f.Add([]byte{})
+	f.Add([]byte{2, 0})
+	f.Add([]byte{2, 255, 0, 0})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		r, err := parseResume(body)
+		if err != nil {
+			return
+		}
+		if !r.Held.Valid() {
+			t.Fatalf("decoded inconsistent held summary %+v", r.Held)
+		}
+		r.Held.Count() // must not panic on any accepted summary
 	})
 }

@@ -38,7 +38,21 @@ const (
 	MsgBye
 	// MsgError (server -> client): a fatal server-side error description.
 	MsgError
+	// MsgResume (client -> server): reopen a session after a disconnect,
+	// carrying a bitmap summary of the tiles the client already holds so
+	// the server can rebuild its redundancy-suppression state instead of
+	// re-sending them.
+	MsgResume
+	// MsgPing (server -> client): heartbeat while the send queue is idle,
+	// letting the client distinguish an idle link from a dead one.
+	MsgPing
 )
+
+// ProtoVersion is the wire-protocol version carried inside resume frames.
+// Version 1 is the original (implicit) protocol; version 2 adds MsgResume
+// and MsgPing. A peer receiving a resume with a different version answers
+// with a clean MsgError instead of desynchronizing.
+const ProtoVersion = 2
 
 // MaxFrameSize bounds a single frame; the largest legitimate payload is a
 // full-360° chunk at the highest quality (a few MB).
@@ -66,6 +80,15 @@ type ErrorMsg struct {
 	Text string
 }
 
+// Resume reopens a session after a disconnect. Held summarizes the tile
+// variants the client already has at exactly the granularity of the
+// server's dedup arrays, so a resumed session never re-downloads them.
+type Resume struct {
+	Version uint8
+	VideoID string
+	Held    player.HeldSummary
+}
+
 // writeFrame emits one framed message.
 func writeFrame(w io.Writer, t MsgType, body []byte) error {
 	if len(body)+1 > MaxFrameSize {
@@ -76,6 +99,11 @@ func writeFrame(w io.Writer, t MsgType, body []byte) error {
 	hdr[4] = byte(t)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("proto: write header: %w", err)
+	}
+	// Skip the body write for empty frames (Bye, Ping): a zero-length
+	// Write on a net.Pipe blocks waiting for a reader rendezvous.
+	if len(body) == 0 {
+		return nil
 	}
 	if _, err := w.Write(body); err != nil {
 		return fmt.Errorf("proto: write body: %w", err)
@@ -173,8 +201,15 @@ func parseRequest(body []byte) (Request, error) {
 		return Request{}, fmt.Errorf("proto: short request")
 	}
 	r := Request{Generation: binary.BigEndian.Uint32(body[:4])}
-	n := int(binary.BigEndian.Uint32(body[4:8]))
-	if n < 0 || len(body) != 8+n*itemWireSize {
+	// Validate the count before multiplying: on 32-bit platforms
+	// n*itemWireSize can overflow int, and Uint32 is never negative, so
+	// bound it by the largest count a legal frame could carry instead.
+	n32 := binary.BigEndian.Uint32(body[4:8])
+	if n32 > (MaxFrameSize-8)/itemWireSize {
+		return Request{}, fmt.Errorf("proto: request item count %d exceeds frame cap", n32)
+	}
+	n := int(n32)
+	if len(body) != 8+n*itemWireSize {
 		return Request{}, fmt.Errorf("proto: malformed request (%d items, %d bytes)", n, len(body))
 	}
 	r.Items = make([]player.RequestItem, n)
@@ -207,6 +242,66 @@ func parseTileData(body []byte) (TileData, error) {
 	return TileData{Item: it, Payload: body[itemWireSize:]}, nil
 }
 
+// WriteResume sends a session-resume request.
+func WriteResume(w io.Writer, r Resume) error {
+	if len(r.VideoID) > 255 {
+		return fmt.Errorf("proto: video id too long")
+	}
+	h := r.Held
+	if !h.Valid() {
+		return fmt.Errorf("proto: inconsistent held summary (%dx%d chunks/tiles)", h.NumChunks, h.NumTiles)
+	}
+	body := make([]byte, 0, 10+len(r.VideoID)+len(h.Primary)+len(h.MaskTile)+len(h.MaskFull))
+	body = append(body, r.Version, byte(len(r.VideoID)))
+	body = append(body, r.VideoID...)
+	var dims [8]byte
+	binary.BigEndian.PutUint32(dims[:4], uint32(h.NumChunks))
+	binary.BigEndian.PutUint32(dims[4:], uint32(h.NumTiles))
+	body = append(body, dims[:]...)
+	body = append(body, h.Primary...)
+	body = append(body, h.MaskTile...)
+	body = append(body, h.MaskFull...)
+	return writeFrame(w, MsgResume, body)
+}
+
+// maxResumeDim bounds the chunk/tile counts a resume may claim, keeping
+// the implied bitmap allocations well inside the frame cap.
+const maxResumeDim = 1 << 16
+
+func parseResume(body []byte) (Resume, error) {
+	if len(body) < 2 {
+		return Resume{}, fmt.Errorf("proto: short resume")
+	}
+	r := Resume{Version: body[0]}
+	idLen := int(body[1])
+	rest := body[2:]
+	if len(rest) < idLen+8 {
+		return Resume{}, fmt.Errorf("proto: malformed resume")
+	}
+	r.VideoID = string(rest[:idLen])
+	rest = rest[idLen:]
+	chunks := binary.BigEndian.Uint32(rest[:4])
+	tiles := binary.BigEndian.Uint32(rest[4:8])
+	rest = rest[8:]
+	if chunks > maxResumeDim || tiles > maxResumeDim {
+		return Resume{}, fmt.Errorf("proto: resume dimensions %dx%d too large", chunks, tiles)
+	}
+	h := player.HeldSummary{NumChunks: int(chunks), NumTiles: int(tiles)}
+	perTile := (h.NumChunks*h.NumTiles + 7) / 8
+	perChunk := (h.NumChunks + 7) / 8
+	if len(rest) != 2*perTile+perChunk {
+		return Resume{}, fmt.Errorf("proto: resume bitmap length %d, want %d", len(rest), 2*perTile+perChunk)
+	}
+	h.Primary = rest[:perTile]
+	h.MaskTile = rest[perTile : 2*perTile]
+	h.MaskFull = rest[2*perTile:]
+	r.Held = h
+	return r, nil
+}
+
+// WritePing sends an idle-link heartbeat.
+func WritePing(w io.Writer) error { return writeFrame(w, MsgPing, nil) }
+
 // WriteBye sends an orderly-shutdown frame.
 func WriteBye(w io.Writer) error { return writeFrame(w, MsgBye, nil) }
 
@@ -222,6 +317,7 @@ type Message struct {
 	Manifest *video.Manifest
 	Request  *Request
 	TileData *TileData
+	Resume   *Resume
 	Error    string
 }
 
@@ -257,7 +353,13 @@ func ReadMessage(r io.Reader) (*Message, error) {
 			return nil, err
 		}
 		msg.TileData = &td
-	case MsgBye:
+	case MsgResume:
+		r, err := parseResume(body)
+		if err != nil {
+			return nil, err
+		}
+		msg.Resume = &r
+	case MsgBye, MsgPing:
 	case MsgError:
 		msg.Error = string(body)
 	default:

@@ -4,6 +4,13 @@
 // the old one — queued-but-untransmitted tiles are dropped — and a tile
 // already transmitted on the primary stream is never re-sent (only
 // masking-quality tiles may be upgraded).
+//
+// The server is fault tolerant: a reconnecting client may open its session
+// with a resume frame carrying the tiles it already holds, and the server
+// rebuilds its redundancy-suppression state from it instead of re-sending.
+// Per-connection read/write deadlines, an idle-link heartbeat, a bounded
+// send queue with slow-client shedding, and graceful drain on context
+// cancellation keep one misbehaving peer from wedging the process.
 package server
 
 import (
@@ -14,17 +21,83 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dragonfly/internal/player"
 	"dragonfly/internal/proto"
 	"dragonfly/internal/video"
 )
 
+// DefaultHeartbeat is the idle-ping period used when Heartbeat is zero.
+const DefaultHeartbeat = time.Second
+
+// DefaultMaxQueue bounds the installed fetch list when MaxQueue is zero.
+const DefaultMaxQueue = 4096
+
 // Server serves a library of video manifests.
 type Server struct {
 	manifests map[string]*video.Manifest
 	// Logf receives per-connection diagnostics; nil silences logging.
 	Logf func(format string, args ...any)
+
+	// ReadTimeout bounds the silence between client frames; the client
+	// requests every decision interval (~100 ms), so any generous value
+	// detects dead peers. 0 disables the deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each outgoing frame; a client that cannot drain
+	// the link within it is disconnected. 0 disables the deadline.
+	WriteTimeout time.Duration
+	// Heartbeat is the idle-ping period while the send queue is empty,
+	// letting clients distinguish an idle link from a dead one.
+	// 0 means DefaultHeartbeat; negative disables pings.
+	Heartbeat time.Duration
+	// MaxQueue caps the installed fetch list; oversized requests are shed
+	// lowest-utility-first (the tail of the ordered list), but masking
+	// entries are never dropped — they are the continuity floor continuous
+	// playback relies on. 0 means DefaultMaxQueue.
+	MaxQueue int
+
+	ctr counters
+}
+
+// counters aggregates send accounting across all connections.
+type counters struct {
+	primarySent  atomic.Int64
+	maskTileSent atomic.Int64
+	maskFullSent atomic.Int64
+	bytesSent    atomic.Int64
+	pings        atomic.Int64
+	resumes      atomic.Int64
+	resumedItems atomic.Int64
+	shedItems    atomic.Int64
+}
+
+// Counters is a snapshot of the server's send accounting; the chaos tests
+// use it to prove resumed sessions never re-send held primary tiles.
+type Counters struct {
+	PrimarySent  int64 // primary tile transmissions
+	MaskTileSent int64 // tiled masking transmissions
+	MaskFullSent int64 // full-360° masking transmissions
+	BytesSent    int64 // payload bytes written
+	Pings        int64 // idle heartbeats written
+	Resumes      int64 // sessions opened via MsgResume
+	ResumedItems int64 // dedup entries restored from resume summaries
+	ShedItems    int64 // queued items dropped by slow-client shedding
+}
+
+// Counters returns a snapshot of the server's send accounting.
+func (s *Server) Counters() Counters {
+	return Counters{
+		PrimarySent:  s.ctr.primarySent.Load(),
+		MaskTileSent: s.ctr.maskTileSent.Load(),
+		MaskFullSent: s.ctr.maskFullSent.Load(),
+		BytesSent:    s.ctr.bytesSent.Load(),
+		Pings:        s.ctr.pings.Load(),
+		Resumes:      s.ctr.resumes.Load(),
+		ResumedItems: s.ctr.resumedItems.Load(),
+		ShedItems:    s.ctr.shedItems.Load(),
+	}
 }
 
 // New creates a server for the given videos.
@@ -51,23 +124,41 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Serve accepts connections until the listener fails or ctx is done.
+func (s *Server) setReadDeadline(conn net.Conn) {
+	if s.ReadTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+	}
+}
+
+func (s *Server) setWriteDeadline(conn net.Conn) {
+	if s.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+	}
+}
+
+// Serve accepts connections until the listener fails or ctx is done. On
+// cancellation it stops accepting, lets in-flight handlers drain their
+// queues and say goodbye, and waits for them before returning.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	go func() {
 		<-ctx.Done()
 		l.Close()
 	}()
+	var wg sync.WaitGroup
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			wg.Wait()
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
 			return fmt.Errorf("server: accept: %w", err)
 		}
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			defer conn.Close()
-			if err := s.HandleConn(conn); err != nil && !errors.Is(err, io.EOF) {
+			if err := s.HandleConnContext(ctx, conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, context.Canceled) {
 				s.logf("server: connection ended: %v", err)
 			}
 		}()
@@ -105,18 +196,79 @@ func (st *sendState) signal() {
 	}
 }
 
-// install replaces the queue if the request is newer ("when a new request
-// is received, the server discards the previous (older) request").
-func (st *sendState) install(r proto.Request) {
+// install replaces the queue if the request is at least as new ("when a new
+// request is received, the server discards the previous (older) request").
+// Generations compare with serial-number arithmetic so a long-lived session
+// survives uint32 wraparound, and an equal generation re-installs — the
+// idempotent replay a reconnecting client relies on. It returns how many
+// items were shed to fit maxQueue.
+func (st *sendState) install(r proto.Request, maxQueue int) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.closed || r.Generation < st.gen {
+	if st.closed || int32(r.Generation-st.gen) < 0 {
 		// Stale (out-of-order) requests are ignored.
-		return
+		return 0
 	}
 	st.gen = r.Generation
-	st.queue = r.Items
+	items, shed := shedQueue(r.Items, maxQueue)
+	st.queue = items
 	st.signal()
+	return shed
+}
+
+// shedQueue drops the lowest-utility entries to fit the cap. Fetch lists
+// are ordered by descending utility (the scheme contract), so the tail
+// holds the least valuable items — but masking entries are never dropped.
+func shedQueue(items []player.RequestItem, max int) ([]player.RequestItem, int) {
+	if max <= 0 || len(items) <= max {
+		return items, 0
+	}
+	budget := max
+	for _, it := range items {
+		if it.Stream == player.Masking {
+			budget--
+		}
+	}
+	kept := make([]player.RequestItem, 0, max)
+	for _, it := range items {
+		if it.Stream == player.Masking {
+			kept = append(kept, it)
+			continue
+		}
+		if budget > 0 {
+			kept = append(kept, it)
+			budget--
+		}
+	}
+	return kept, len(items) - len(kept)
+}
+
+// preload marks the client-held items from a resume summary as already
+// sent, restoring the redundancy suppression of the pre-disconnect
+// session. It returns the number of entries restored.
+func (st *sendState) preload(h player.HeldSummary, m *video.Manifest) int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tiles := m.NumTiles()
+	var restored int64
+	for c := 0; c < m.NumChunks && c < h.NumChunks; c++ {
+		if h.HasMaskFull(c) && !st.sentMaskFull[c] {
+			st.sentMaskFull[c] = true
+			restored++
+		}
+		for tl := 0; tl < tiles && tl < h.NumTiles; tl++ {
+			ct := c*tiles + tl
+			if h.HasPrimary(c, tl) && !st.sentPrimary[ct] {
+				st.sentPrimary[ct] = true
+				restored++
+			}
+			if h.HasMaskTile(c, tl) && !st.sentMaskTile[ct] {
+				st.sentMaskTile[ct] = true
+				restored++
+			}
+		}
+	}
+	return restored
 }
 
 // next pops the next sendable item, applying the redundancy rule, or
@@ -165,29 +317,74 @@ func (st *sendState) close() {
 
 // HandleConn runs one streaming session over an established connection.
 func (s *Server) HandleConn(conn net.Conn) error {
+	return s.HandleConnContext(context.Background(), conn)
+}
+
+// HandleConnContext runs one streaming session; on ctx cancellation the
+// sender drains the queued tiles, sends a Bye, and returns.
+func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
+	s.setReadDeadline(conn)
 	msg, err := proto.ReadMessage(conn)
 	if err != nil {
 		return fmt.Errorf("server: read hello: %w", err)
 	}
-	if msg.Type != proto.MsgHello {
+	var (
+		m    *video.Manifest
+		ok   bool
+		held *player.HeldSummary
+	)
+	switch msg.Type {
+	case proto.MsgHello:
+		m, ok = s.manifests[msg.Hello.VideoID]
+		if !ok {
+			_ = proto.WriteError(conn, fmt.Sprintf("unknown video %q", msg.Hello.VideoID))
+			return fmt.Errorf("server: unknown video %q", msg.Hello.VideoID)
+		}
+	case proto.MsgResume:
+		r := msg.Resume
+		if r.Version != proto.ProtoVersion {
+			_ = proto.WriteError(conn, fmt.Sprintf("unsupported protocol version %d (want %d)", r.Version, proto.ProtoVersion))
+			return fmt.Errorf("server: resume with protocol version %d", r.Version)
+		}
+		m, ok = s.manifests[r.VideoID]
+		if !ok {
+			_ = proto.WriteError(conn, fmt.Sprintf("unknown video %q", r.VideoID))
+			return fmt.Errorf("server: unknown video %q", r.VideoID)
+		}
+		if r.Held.NumChunks != m.NumChunks || r.Held.NumTiles != m.NumTiles() {
+			_ = proto.WriteError(conn, "resume state does not match video geometry")
+			return fmt.Errorf("server: resume geometry %dx%d for %q", r.Held.NumChunks, r.Held.NumTiles, r.VideoID)
+		}
+		held = &r.Held
+	default:
 		return fmt.Errorf("server: expected hello, got type %d", msg.Type)
 	}
-	m, ok := s.manifests[msg.Hello.VideoID]
-	if !ok {
-		_ = proto.WriteError(conn, fmt.Sprintf("unknown video %q", msg.Hello.VideoID))
-		return fmt.Errorf("server: unknown video %q", msg.Hello.VideoID)
-	}
+	s.setWriteDeadline(conn)
 	if err := proto.WriteManifest(conn, m); err != nil {
 		return fmt.Errorf("server: send manifest: %w", err)
 	}
 
 	st := newSendState(m)
+	if held != nil {
+		s.ctr.resumes.Add(1)
+		s.ctr.resumedItems.Add(st.preload(*held, m))
+	}
+	// Graceful drain: cancellation closes the send state, so the sender
+	// flushes what is queued and says goodbye instead of vanishing.
+	stopWatch := context.AfterFunc(ctx, st.close)
+	defer stopWatch()
+
+	maxQueue := s.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = DefaultMaxQueue
+	}
 
 	// Request reader: installs each new fetch list until the client leaves.
 	readErr := make(chan error, 1)
 	go func() {
 		defer st.close()
 		for {
+			s.setReadDeadline(conn)
 			msg, err := proto.ReadMessage(conn)
 			if err != nil {
 				readErr <- err
@@ -195,7 +392,9 @@ func (s *Server) HandleConn(conn net.Conn) error {
 			}
 			switch msg.Type {
 			case proto.MsgRequest:
-				st.install(*msg.Request)
+				if shed := st.install(*msg.Request, maxQueue); shed > 0 {
+					s.ctr.shedItems.Add(int64(shed))
+				}
 			case proto.MsgBye:
 				readErr <- nil
 				return
@@ -206,26 +405,79 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		}
 	}()
 
+	heartbeat := s.Heartbeat
+	if heartbeat == 0 {
+		heartbeat = DefaultHeartbeat
+	}
+
 	// Tile sender: drains the queue; payload bytes are synthetic (the
 	// manifest declares the size; content is irrelevant to scheduling).
 	var payload []byte
+	var idle *time.Timer
+	defer func() {
+		if idle != nil {
+			idle.Stop()
+		}
+	}()
 	for {
 		it, ok, done := st.next(m)
 		if done {
 			break
 		}
 		if !ok {
-			<-st.wake
+			if heartbeat > 0 {
+				if idle == nil {
+					idle = time.NewTimer(heartbeat)
+				} else {
+					idle.Reset(heartbeat)
+				}
+				select {
+				case <-st.wake:
+					if !idle.Stop() {
+						<-idle.C
+					}
+				case <-idle.C:
+					s.setWriteDeadline(conn)
+					if err := proto.WritePing(conn); err != nil {
+						st.close()
+						return fmt.Errorf("server: send ping: %w", err)
+					}
+					s.ctr.pings.Add(1)
+				}
+			} else {
+				<-st.wake
+			}
 			continue
 		}
 		size := it.Size(m)
 		if int64(len(payload)) < size {
 			payload = make([]byte, size)
 		}
+		s.setWriteDeadline(conn)
 		if err := proto.WriteTileData(conn, proto.TileData{Item: it, Payload: payload[:size]}); err != nil {
 			st.close()
 			return fmt.Errorf("server: send tile: %w", err)
 		}
+		switch {
+		case it.Stream == player.Primary:
+			s.ctr.primarySent.Add(1)
+		case it.Full360:
+			s.ctr.maskFullSent.Add(1)
+		default:
+			s.ctr.maskTileSent.Add(1)
+		}
+		s.ctr.bytesSent.Add(size)
+	}
+	// Best-effort goodbye: on graceful drain it tells the client the
+	// remaining queue has been flushed and nothing more is coming.
+	s.setWriteDeadline(conn)
+	_ = proto.WriteBye(conn)
+	if ctx.Err() != nil {
+		// Unblock the request reader (it may be mid-read with no deadline)
+		// and report the drain.
+		conn.Close()
+		<-readErr
+		return ctx.Err()
 	}
 	if err := <-readErr; err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 		return err

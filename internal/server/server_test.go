@@ -29,11 +29,11 @@ func TestSendStateSupersession(t *testing.T) {
 	st.install(proto.Request{Generation: 1, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 1},
 		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 1},
-	}})
+	}}, 0)
 	// A newer request replaces the queue wholesale.
 	st.install(proto.Request{Generation: 2, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 2, Quality: 3},
-	}})
+	}}, 0)
 	it, ok, done := st.next(m)
 	if !ok || done || it.Tile != 2 {
 		t.Fatalf("next = %+v ok=%v done=%v", it, ok, done)
@@ -48,10 +48,10 @@ func TestSendStateIgnoresStaleGeneration(t *testing.T) {
 	st := newSendState(m)
 	st.install(proto.Request{Generation: 5, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 7, Quality: 1},
-	}})
+	}}, 0)
 	st.install(proto.Request{Generation: 3, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 9, Quality: 1},
-	}})
+	}}, 0)
 	it, ok, _ := st.next(m)
 	if !ok || it.Tile != 7 {
 		t.Fatalf("stale generation replaced queue: %+v", it)
@@ -69,7 +69,7 @@ func TestSendStateRedundancyRules(t *testing.T) {
 		{Stream: player.Masking, Chunk: 0, Tile: 2, Quality: 0},       // covered by full-360: dropped
 		{Stream: player.Masking, Chunk: 0, Full360: true, Quality: 0}, // duplicate full: dropped
 	}
-	st.install(proto.Request{Generation: 1, Items: items})
+	st.install(proto.Request{Generation: 1, Items: items}, 0)
 	var sent []player.RequestItem
 	for {
 		it, ok, done := st.next(m)
@@ -93,7 +93,7 @@ func TestSendStateSkipsMalformed(t *testing.T) {
 		{Stream: player.Primary, Chunk: 999, Tile: 0, Quality: 1},
 		{Stream: player.Primary, Chunk: 0, Tile: 999, Quality: 1},
 		{Stream: player.Primary, Chunk: 0, Tile: 3, Quality: 1},
-	}})
+	}}, 0)
 	it, ok, _ := st.next(m)
 	if !ok || it.Tile != 3 {
 		t.Fatalf("malformed items not skipped: %+v", it)
@@ -207,6 +207,315 @@ func TestHandleConnStreamsRequestedTiles(t *testing.T) {
 		t.Fatalf("payload %d bytes, want %d", len(msg.TileData.Payload), m.TileSize(1, 5, 2))
 	}
 	_ = proto.WriteBye(client)
+}
+
+func TestSendStateEqualGenerationReplay(t *testing.T) {
+	m := testManifest()
+	st := newSendState(m)
+	st.install(proto.Request{Generation: 7, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 1},
+	}}, 0)
+	// A reconnecting client replays its last request with the same
+	// generation; the replay must install (idempotent), not be dropped.
+	st.install(proto.Request{Generation: 7, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 2, Quality: 1},
+	}}, 0)
+	it, ok, _ := st.next(m)
+	if !ok || it.Tile != 2 {
+		t.Fatalf("equal-generation replay ignored: %+v ok=%v", it, ok)
+	}
+}
+
+func TestSendStateGenerationWraparound(t *testing.T) {
+	m := testManifest()
+	st := newSendState(m)
+	st.install(proto.Request{Generation: ^uint32(0) - 1, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 1},
+	}}, 0)
+	// 3 is "newer" than 2^32-2 under serial-number arithmetic.
+	st.install(proto.Request{Generation: 3, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 2, Quality: 1},
+	}}, 0)
+	it, ok, _ := st.next(m)
+	if !ok || it.Tile != 2 {
+		t.Fatalf("wrapped generation treated as stale: %+v ok=%v", it, ok)
+	}
+	// And the pre-wrap generation is now stale.
+	st.install(proto.Request{Generation: ^uint32(0) - 5, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 3, Quality: 1},
+	}}, 0)
+	if _, ok, _ := st.next(m); ok {
+		t.Fatal("pre-wrap generation accepted after wraparound")
+	}
+}
+
+func TestSendStateInstallAfterClose(t *testing.T) {
+	m := testManifest()
+	st := newSendState(m)
+	st.close()
+	st.install(proto.Request{Generation: 1, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 1},
+	}}, 0)
+	it, ok, done := st.next(m)
+	if ok || !done {
+		t.Fatalf("install after close queued work: %+v ok=%v done=%v", it, ok, done)
+	}
+}
+
+func TestShedQueueKeepsMasking(t *testing.T) {
+	items := []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 1},
+		{Stream: player.Masking, Chunk: 0, Full360: true},
+		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 1},
+		{Stream: player.Masking, Chunk: 1, Full360: true},
+		{Stream: player.Primary, Chunk: 0, Tile: 2, Quality: 1},
+		{Stream: player.Primary, Chunk: 0, Tile: 3, Quality: 1},
+	}
+	kept, shed := shedQueue(items, 3)
+	if shed != 3 || len(kept) != 3 {
+		t.Fatalf("kept %d shed %d, want 3/3", len(kept), shed)
+	}
+	// Both masking entries survive; the single primary slot goes to the
+	// highest-utility (earliest) primary.
+	masks := 0
+	for _, it := range kept {
+		if it.Stream == player.Masking {
+			masks++
+		}
+	}
+	if masks != 2 {
+		t.Fatalf("shedding dropped masking entries: %+v", kept)
+	}
+	if kept[0].Stream != player.Primary || kept[0].Tile != 0 {
+		t.Fatalf("lowest-utility primary kept instead of head: %+v", kept)
+	}
+	// Under the cap, nothing is shed.
+	if _, shed := shedQueue(items, 10); shed != 0 {
+		t.Fatalf("shed %d below cap", shed)
+	}
+}
+
+func TestSendStatePreload(t *testing.T) {
+	m := testManifest()
+	st := newSendState(m)
+	held := player.HeldSummary{
+		NumChunks: m.NumChunks,
+		NumTiles:  m.NumTiles(),
+		Primary:   make([]byte, (m.NumChunks*m.NumTiles()+7)/8),
+		MaskTile:  make([]byte, (m.NumChunks*m.NumTiles()+7)/8),
+		MaskFull:  make([]byte, (m.NumChunks+7)/8),
+	}
+	held.Primary[0] |= 1 << 3 // chunk 0, tile 3
+	held.MaskFull[0] |= 1 << 1
+
+	if n := st.preload(held, m); n != 2 {
+		t.Fatalf("preload restored %d entries, want 2", n)
+	}
+	st.install(proto.Request{Generation: 1, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 3, Quality: 2}, // held: suppressed
+		{Stream: player.Masking, Chunk: 1, Full360: true},       // held: suppressed
+		{Stream: player.Masking, Chunk: 1, Tile: 0, Quality: 0}, // covered by held full-360
+		{Stream: player.Primary, Chunk: 0, Tile: 4, Quality: 2}, // not held: sent
+	}}, 0)
+	it, ok, _ := st.next(m)
+	if !ok || it.Tile != 4 || it.Stream != player.Primary {
+		t.Fatalf("preload did not suppress held items: %+v ok=%v", it, ok)
+	}
+	if _, ok, _ := st.next(m); ok {
+		t.Fatal("suppressed items leaked past preload")
+	}
+}
+
+func TestHandleConnResume(t *testing.T) {
+	m := testManifest()
+	s := New(m)
+	client, srvConn := net.Pipe()
+	go func() {
+		defer srvConn.Close()
+		_ = s.HandleConnContext(context.Background(), srvConn)
+	}()
+	defer client.Close()
+
+	held := player.HeldSummary{
+		NumChunks: m.NumChunks,
+		NumTiles:  m.NumTiles(),
+		Primary:   make([]byte, (m.NumChunks*m.NumTiles()+7)/8),
+		MaskTile:  make([]byte, (m.NumChunks*m.NumTiles()+7)/8),
+		MaskFull:  make([]byte, (m.NumChunks+7)/8),
+	}
+	held.Primary[0] |= 1 << 5 // chunk 0, tile 5
+	go func() {
+		_ = proto.WriteResume(client, proto.Resume{Version: proto.ProtoVersion, VideoID: "srv", Held: held})
+	}()
+	msg, err := proto.ReadMessage(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != proto.MsgManifest {
+		t.Fatalf("resume ack type %d, want manifest", msg.Type)
+	}
+	if err := proto.WriteRequest(client, proto.Request{Generation: 1, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 5, Quality: 2}, // held: must not be re-sent
+		{Stream: player.Primary, Chunk: 0, Tile: 6, Quality: 2},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = proto.ReadMessage(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != proto.MsgTileData || msg.TileData.Item.Tile != 6 {
+		t.Fatalf("resumed session re-sent held tile: %+v", msg.TileData)
+	}
+	ctr := s.Counters()
+	if ctr.Resumes != 1 || ctr.ResumedItems != 1 {
+		t.Errorf("counters = %+v, want 1 resume / 1 restored", ctr)
+	}
+	_ = proto.WriteBye(client)
+}
+
+func TestHandleConnResumeVersionMismatch(t *testing.T) {
+	m := testManifest()
+	s := New(m)
+	client, srvConn := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		defer srvConn.Close()
+		errCh <- s.HandleConnContext(context.Background(), srvConn)
+	}()
+	defer client.Close()
+
+	held := player.NewReceived(m).Summary()
+	go func() {
+		_ = proto.WriteResume(client, proto.Resume{Version: proto.ProtoVersion + 1, VideoID: "srv", Held: held})
+	}()
+	msg, err := proto.ReadMessage(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != proto.MsgError {
+		t.Fatalf("old-version resume got type %d, want a clean MsgError", msg.Type)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("version mismatch reported no error")
+	}
+}
+
+func TestHandleConnContextCancelDrains(t *testing.T) {
+	m := testManifest()
+	s := New(m)
+	client, srvConn := net.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.HandleConnContext(ctx, srvConn) }()
+	defer client.Close()
+
+	go func() { _ = proto.WriteHello(client, proto.Hello{VideoID: "srv"}) }()
+	read := make(chan *proto.Message, 16)
+	go func() {
+		for {
+			msg, err := proto.ReadMessage(client)
+			if err != nil {
+				close(read)
+				return
+			}
+			read <- msg
+		}
+	}()
+	if msg := <-read; msg.Type != proto.MsgManifest {
+		t.Fatalf("expected manifest, got %d", msg.Type)
+	}
+	if err := proto.WriteRequest(client, proto.Request{Generation: 1, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 1},
+		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// Let the queue install, then cancel: the handler must flush the
+	// queued tiles and sign off with a Bye before closing.
+	var tiles int
+	var sawBye bool
+	timer := time.After(5 * time.Second)
+	cancelled := false
+	for !sawBye {
+		select {
+		case msg, ok := <-read:
+			if !ok {
+				t.Fatalf("connection closed before Bye (tiles=%d)", tiles)
+			}
+			switch msg.Type {
+			case proto.MsgTileData:
+				tiles++
+				if tiles == 2 && !cancelled {
+					cancelled = true
+					cancel()
+				}
+			case proto.MsgBye:
+				sawBye = true
+			}
+		case <-timer:
+			t.Fatal("no Bye after cancel")
+		}
+	}
+	if tiles != 2 {
+		t.Errorf("drained %d tiles, want 2", tiles)
+	}
+	if err := <-done; err != context.Canceled {
+		t.Errorf("handler returned %v, want context.Canceled", err)
+	}
+}
+
+func TestServeWaitsForHandlersOnShutdown(t *testing.T) {
+	m := testManifest()
+	s := New(m)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := proto.WriteHello(conn, proto.Hello{VideoID: "srv"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := proto.ReadMessage(conn)
+	if err != nil || msg.Type != proto.MsgManifest {
+		t.Fatalf("manifest: %v / type %v", err, msg)
+	}
+	if err := proto.WriteRequest(conn, proto.Request{Generation: 1, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := proto.ReadMessage(conn); err != nil || msg.Type != proto.MsgTileData {
+		t.Fatalf("tile: %v / %+v", err, msg)
+	}
+	cancel()
+	// Serve must not return before the in-flight handler has finished its
+	// drain; by the time it does, the goodbye is on the wire.
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Serve returned %v", err)
+	}
+	sawBye := false
+	for {
+		msg, err := proto.ReadMessage(conn)
+		if err != nil {
+			break
+		}
+		if msg.Type == proto.MsgBye {
+			sawBye = true
+		}
+	}
+	if !sawBye {
+		t.Error("no Bye after drained shutdown")
+	}
 }
 
 func TestServeHonorsContext(t *testing.T) {

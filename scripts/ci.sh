@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI gate: formatting, vet, and the full test suite under the race
+# detector. The chaos tests (internal/client, internal/server,
+# internal/netem) exercise real goroutine-per-connection sessions with
+# mid-stream disconnects, so -race here is load-bearing, not ceremony.
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go test -race -timeout 600s ./...
