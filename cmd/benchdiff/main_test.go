@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: dragonfly
+cpu: Fake CPU @ 3.00GHz
+BenchmarkFig9MainComparison-8   	       1	123456789 ns/op	 5000000 B/op	   40000 allocs/op
+BenchmarkFig2PredictionAccuracy-8       2	 50000000 ns/op
+BenchmarkTilingSweep   	       1	  9999999 ns/op	  100 B/op	    5 allocs/op
+PASS
+ok  	dragonfly	3.210s
+`
+
+func TestParseBench(t *testing.T) {
+	res, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(res), res)
+	}
+	fig9, ok := res["BenchmarkFig9MainComparison"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if fig9.NsPerOp != 123456789 || fig9.BytesPerOp != 5000000 || fig9.AllocsPerOp != 40000 {
+		t.Fatalf("fig9 = %+v", fig9)
+	}
+	if res["BenchmarkFig2PredictionAccuracy"].NsPerOp != 50000000 {
+		t.Fatalf("fig2 = %+v", res["BenchmarkFig2PredictionAccuracy"])
+	}
+	if _, ok := res["BenchmarkTilingSweep"]; !ok {
+		t.Fatal("benchmark without -N suffix dropped")
+	}
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000},
+		"BenchmarkB": {NsPerOp: 1000},
+		"BenchmarkC": {NsPerOp: 1000},
+	}
+	fresh := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1400}, // within x1.5
+		"BenchmarkB": {NsPerOp: 2000}, // regression
+		"BenchmarkD": {NsPerOp: 5},    // new, informational only
+	}
+	var buf bytes.Buffer
+	got := compare(base, fresh, 1.5, &buf)
+	if len(got) != 1 || got[0] != "BenchmarkB" {
+		t.Fatalf("regressions = %v, want [BenchmarkB]", got)
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "MISSING", "NEW"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffFailsOnInjectedRegression is the acceptance check: emit a
+// baseline, then feed a run where one benchmark slowed beyond the
+// threshold — diff must return an error (nonzero exit in main).
+func TestDiffFailsOnInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "raw.txt")
+	if err := os.WriteFile(raw, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(dir, "baseline.json")
+	if err := emitBaseline(raw, baseline); err != nil {
+		t.Fatal(err)
+	}
+	var bl Baseline
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &bl); err != nil {
+		t.Fatal(err)
+	}
+	if len(bl.Benchmarks) != 3 {
+		t.Fatalf("baseline has %d benchmarks, want 3", len(bl.Benchmarks))
+	}
+
+	// Same run, but Fig9 2.5x slower than baseline.
+	slowed := strings.Replace(sampleBenchOutput, "123456789 ns/op", "308641972 ns/op", 1)
+	slowRaw := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(slowRaw, []byte(slowed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := diff(baseline, slowRaw, 1.5, false, &buf); err == nil {
+		t.Fatalf("diff passed an injected 2.5x regression:\n%s", buf.String())
+	} else if !strings.Contains(err.Error(), "BenchmarkFig9MainComparison") {
+		t.Fatalf("error %q does not name the regressed benchmark", err)
+	}
+
+	// Warn mode reports but does not fail.
+	buf.Reset()
+	if err := diff(baseline, slowRaw, 1.5, true, &buf); err != nil {
+		t.Fatalf("warn mode failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "WARNING") {
+		t.Fatalf("warn mode did not report:\n%s", buf.String())
+	}
+
+	// The unmodified run passes.
+	buf.Reset()
+	if err := diff(baseline, raw, 1.5, false, &buf); err != nil {
+		t.Fatalf("identical run flagged: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dragonfly/internal/client"
+	"dragonfly/internal/obs"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/trace"
 	"dragonfly/internal/video"
@@ -35,6 +36,7 @@ func main() {
 	reconnects := flag.Int("reconnect-attempts", 8, "redial budget per outage (0 = no fault tolerance)")
 	readTimeout := flag.Duration("read-timeout", 5*time.Second, "idle read deadline; the server heartbeats, so a silent link this long is dead")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "per-frame write deadline")
+	traceFile := flag.String("trace", "", "write the session's event trace as JSONL to this file")
 	flag.Parse()
 
 	factory, ok := sim.Registry()[*schemeKey]
@@ -71,6 +73,11 @@ func main() {
 
 	dial := func() (net.Conn, error) { return client.DialTimeout(*addr, *dialTimeout) }
 
+	var sessionTrace *obs.Trace
+	if *traceFile != "" {
+		sessionTrace = obs.NewTrace(0)
+	}
+
 	scheme := factory()
 	log.Printf("streaming %s with %s from %s ...", *videoID, scheme.Name(), *addr)
 	begin := time.Now()
@@ -81,9 +88,23 @@ func main() {
 			WriteTimeout: *writeTimeout,
 			Seed:         *seed,
 		},
+		Trace: sessionTrace,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if sessionTrace != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatalf("session trace: %v", err)
+		}
+		if err := sessionTrace.WriteJSONL(f); err != nil {
+			log.Fatalf("session trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("session trace: %v", err)
+		}
+		log.Printf("wrote %d events (%d dropped) to %s", sessionTrace.Len(), sessionTrace.Dropped(), *traceFile)
 	}
 
 	fmt.Printf("\nsession complete in %s\n", time.Since(begin).Round(time.Millisecond))

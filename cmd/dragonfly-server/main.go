@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"dragonfly/internal/netem"
+	"dragonfly/internal/obs"
 	"dragonfly/internal/server"
 	"dragonfly/internal/trace"
 	"dragonfly/internal/video"
@@ -35,6 +36,7 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline (0 = none)")
 	heartbeat := flag.Duration("heartbeat", server.DefaultHeartbeat, "idle-link ping interval (negative = off)")
 	maxQueue := flag.Int("max-queue", server.DefaultMaxQueue, "send-queue bound before slow-client shedding")
+	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics and /debug/pprof/ (empty = off)")
 	flag.Parse()
 
 	var manifests []*video.Manifest
@@ -96,6 +98,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *adminAddr != "" {
+		srv.Obs = obs.NewRegistry()
+		adminListen, adminErr, err := obs.ServeAdmin(ctx, *adminAddr, srv.Obs)
+		if err != nil {
+			log.Fatalf("admin listener: %v", err)
+		}
+		go func() {
+			if err := <-adminErr; err != nil {
+				log.Printf("admin listener: %v", err)
+			}
+		}()
+		log.Printf("admin endpoint on http://%s (/metrics, /debug/pprof/)", adminListen)
+	}
 	log.Printf("dragonfly server on %s serving %v", l.Addr(), srv.Videos())
 	if err := srv.Serve(ctx, listener); err != nil && ctx.Err() == nil {
 		log.Fatal(err)

@@ -13,9 +13,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"dragonfly/internal/experiments"
+	"dragonfly/internal/obs"
+	"dragonfly/internal/sim"
 )
 
 func main() {
@@ -23,6 +26,8 @@ func main() {
 	scale := flag.String("scale", "full", "dataset scale: full (paper) or small (quick)")
 	studyUsers := flag.Int("study-users", 26, "participants in the user-study simulation")
 	csvDir := flag.String("csv", "", "directory to also dump CDF series as CSV (Figs 9, 11, 12)")
+	traceDir := flag.String("trace-dir", "", "directory for per-session JSONL event traces (one subdirectory per experiment)")
+	metricsOut := flag.String("metrics-out", "", "file to dump the aggregated metrics registry as JSON on exit")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -44,19 +49,48 @@ func main() {
 		log.Fatalf("unknown scale %q", *scale)
 	}
 	env.CSVDir = *csvDir
+	env.Obs = obs.NewRegistry()
+
+	dumpMetrics := func() {
+		if *metricsOut == "" {
+			return
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		if err := env.Obs.WriteJSON(f); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		log.Printf("wrote metrics registry to %s", *metricsOut)
+	}
 
 	runOne := func(e experiments.Experiment) {
+		if *traceDir != "" {
+			env.TraceDir = filepath.Join(*traceDir, e.ID)
+		}
+		env.LastSweep = sim.Stats{}
 		begin := time.Now()
 		if err := e.Run(env, os.Stdout); err != nil {
 			log.Fatalf("%s: %v", e.ID, err)
 		}
-		fmt.Printf("[%s done in %s]\n\n", e.ID, time.Since(begin).Round(time.Millisecond))
+		wall := time.Since(begin).Round(time.Millisecond)
+		if s := env.LastSweep; s.Sessions > 0 {
+			fmt.Printf("[%s done in %s; last sweep: %d sessions in %s, %.1f sessions/s]\n\n",
+				e.ID, wall, s.Sessions, s.Wall.Round(time.Millisecond), s.SessionsPerSec)
+		} else {
+			fmt.Printf("[%s done in %s]\n\n", e.ID, wall)
+		}
 	}
 
 	if *run == "all" {
 		for _, e := range experiments.All(*studyUsers) {
 			runOne(e)
 		}
+		dumpMetrics()
 		return
 	}
 	e, ok := experiments.Find(*run, *studyUsers)
@@ -64,4 +98,5 @@ func main() {
 		log.Fatalf("unknown experiment %q (use -list)", *run)
 	}
 	runOne(e)
+	dumpMetrics()
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"dragonfly/internal/geom"
+	"dragonfly/internal/obs"
 	"dragonfly/internal/player"
 	"dragonfly/internal/predict"
 	"dragonfly/internal/proto"
@@ -105,6 +106,10 @@ type PlayOptions struct {
 	// Reconnect enables fault tolerance (only effective through
 	// PlayResilient, which supplies the dialer).
 	Reconnect ReconnectPolicy
+
+	// Trace, when non-nil, receives structured session events (fetches,
+	// skips, stalls, outages, reconnects) for JSONL export.
+	Trace *obs.Trace
 }
 
 // Play streams videoID from the server behind conn using the given scheme,
@@ -133,6 +138,11 @@ func PlayResilient(dial DialFunc, videoID string, head *trace.HeadTrace, scheme 
 func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, scheme player.Scheme, opts PlayOptions) (*player.Metrics, error) {
 	if head == nil || scheme == nil {
 		return nil, fmt.Errorf("client: head trace and scheme are required")
+	}
+	if len(head.Samples) == 0 || head.SamplePeriod <= 0 {
+		// The playback loop advances the head schedule by SamplePeriod; a
+		// degenerate trace would spin it forever.
+		return nil, fmt.Errorf("client: head trace needs samples and a positive sample period")
 	}
 	if opts.Viewport.RadiusDeg == 0 {
 		opts.Viewport = geom.DefaultViewport
@@ -282,6 +292,7 @@ func (s *session) receiver(conn net.Conn, id int) {
 			}
 			s.lastEvent = at
 			s.mu.Unlock()
+			s.opts.Trace.Add(obs.Event{At: at, Kind: obs.EvFetch, Chunk: msg.TileData.Item.Chunk, Tile: int(msg.TileData.Item.Tile), N: size})
 			s.wakeLoop()
 		case proto.MsgPing:
 			// Heartbeat: the link is idle but alive.
@@ -293,6 +304,7 @@ func (s *session) receiver(conn net.Conn, id int) {
 				s.linkDead = true
 			}
 			s.mu.Unlock()
+			s.opts.Trace.Record(s.now(), obs.EvLinkDead, 0)
 			return
 		case proto.MsgError:
 			s.reportFatal(fmt.Errorf("client: server error: %s", msg.Error))
@@ -319,10 +331,12 @@ func (s *session) linkLost(id int, err error) {
 	}
 	s.down = true
 	s.downAt = s.now()
+	downAt := s.downAt
 	s.met.Disconnects++
 	old := s.conn
 	s.conn = nil
 	s.mu.Unlock()
+	s.opts.Trace.Record(downAt, obs.EvOutage, 0)
 	if old != nil {
 		old.Close()
 	}
@@ -372,6 +386,7 @@ func (s *session) reconnectLoop() {
 		gen := s.gen
 		s.mu.Unlock()
 
+		s.opts.Trace.Record(now, obs.EvReconnect, int64(sum.Count()))
 		go s.receiver(conn, id)
 		// Re-issue the outstanding fetch list immediately rather than
 		// waiting for the next decision epoch.
@@ -384,6 +399,7 @@ func (s *session) reconnectLoop() {
 	s.mu.Lock()
 	s.linkDead = true
 	s.mu.Unlock()
+	s.opts.Trace.Record(s.now(), obs.EvLinkDead, 0)
 	s.wakeLoop()
 }
 
@@ -482,8 +498,21 @@ func (s *session) run() (*player.Metrics, error) {
 		chunk := s.m.ChunkOfFrame(playFrame)
 		o := s.head.At(now)
 		s.mu.Lock()
+		skips, masks, blanks := s.met.PrimarySkipFrames, s.met.RenderedMasking, s.met.RenderedBlank
 		s.acct.RenderFrame(chunk, o, s.received, now)
+		skips, masks, blanks = s.met.PrimarySkipFrames-skips, s.met.RenderedMasking-masks, s.met.RenderedBlank-blanks
 		s.mu.Unlock()
+		if s.opts.Trace != nil {
+			if skips > 0 {
+				s.opts.Trace.Add(obs.Event{At: now, Kind: obs.EvSkip, Chunk: chunk})
+			}
+			if masks > 0 {
+				s.opts.Trace.Add(obs.Event{At: now, Kind: obs.EvMask, Chunk: chunk, N: masks})
+			}
+			if blanks > 0 {
+				s.opts.Trace.Add(obs.Event{At: now, Kind: obs.EvBlank, Chunk: chunk, N: blanks})
+			}
+		}
 		playFrame++
 		nextFrameAt = now + frameDur
 	}
@@ -501,9 +530,11 @@ func (s *session) run() (*player.Metrics, error) {
 		if startup {
 			s.met.StartupDelay = now
 			startup = false
+			s.opts.Trace.Record(now, obs.EvStartup, int64(now/time.Millisecond))
 		} else {
 			s.met.RebufferDuration += now - stallStart
 			s.met.StallIntervals = append(s.met.StallIntervals, player.StallInterval{Start: stallStart, End: now})
+			s.opts.Trace.Record(now, obs.EvResume, int64((now-stallStart)/time.Millisecond))
 		}
 		stalled = false
 		renderFrame(now)
@@ -537,6 +568,7 @@ func (s *session) run() (*player.Metrics, error) {
 				stalled = true
 				stallStart = now
 				s.met.StallEvents++
+				s.opts.Trace.Add(obs.Event{At: now, Kind: obs.EvStall, Chunk: chunk})
 			} else {
 				renderFrame(now)
 			}
@@ -623,6 +655,7 @@ func (s *session) decide(now time.Duration, playFrame int, stalled bool, nextFra
 	}
 	conn, id := s.conn, s.connID
 	s.mu.Unlock()
+	s.opts.Trace.Record(now, obs.EvDecide, int64(len(items)))
 	if conn == nil {
 		return // disconnected; the reconnector re-issues lastReq on resume
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"dragonfly/internal/geom"
+	"dragonfly/internal/obs"
 	"dragonfly/internal/player"
 	"dragonfly/internal/video"
 )
@@ -45,11 +46,16 @@ func New(opts Options) *Dragonfly {
 	}
 	d.MaskScheduled = opts.MaskScheduled
 	d.Name = opts.Name
+	d.Obs = opts.Obs
 	return &Dragonfly{opts: d}
 }
 
 // NewDefault creates Dragonfly with the paper's evaluation configuration.
 func NewDefault() *Dragonfly { return New(DefaultOptions()) }
+
+// SetObs attaches a metrics registry after construction. The sim harness
+// uses it to wire its sweep-wide registry into factory-built schemes.
+func (d *Dragonfly) SetObs(r *obs.Registry) { d.opts.Obs = r }
 
 // Name implements player.Scheme.
 func (d *Dragonfly) Name() string {
@@ -88,6 +94,15 @@ func (d *Dragonfly) Decide(ctx *player.Context) []player.RequestItem {
 	w := buildWindow(ctx, d.opts, maskPlanned)
 	sched := newScheduler(w, d.opts.minPrimaryQuality(), baseOff)
 	list := sched.run()
+
+	if r := d.opts.Obs; r != nil {
+		r.Counter("core_decisions").Inc()
+		r.Counter("core_candidates").Add(int64(len(w.cands)))
+		r.Counter("core_listed").Add(int64(len(list)))
+		r.Counter("core_skipped").Add(int64(len(w.cands) - len(list)))
+		r.Counter("core_mask_items").Add(int64(len(maskItems)))
+		r.Histogram("core_utility").Observe(sched.totalUtility())
+	}
 
 	// Masking first (earliest-deadline chunks lead), then the utility-
 	// ordered primary fetches.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dragonfly/internal/geom"
+	"dragonfly/internal/obs"
 	"dragonfly/internal/quality"
 	"dragonfly/internal/video"
 )
@@ -79,6 +80,11 @@ type Options struct {
 
 	// Name overrides the reported scheme name (for ablation variants).
 	Name string
+
+	// Obs, when non-nil, receives scheduler metrics: refinement counts,
+	// listed/skipped candidate counters and the per-refinement total-utility
+	// histogram. Nil disables instrumentation at no cost.
+	Obs *obs.Registry
 }
 
 // DefaultOptions returns the paper's evaluation configuration.

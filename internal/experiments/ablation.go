@@ -23,7 +23,7 @@ type Fig12Result struct {
 // PassiveSkip; NoMask comparable at the median but with an incomplete-
 // viewport tail (~10% of viewports) and the lowest wastage.
 func Fig12Ablation(env *Env, w io.Writer) (*Fig12Result, error) {
-	res, err := sim.Run(sim.Sweep{
+	res, err := env.sweep(sim.Sweep{
 		Videos:     env.Videos,
 		Users:      env.Users,
 		Bandwidths: env.Belgian,

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,7 +16,30 @@ import (
 // WriteCDFCSV writes one empirical CDF per column: the header names the
 // series, each row holds (value, cumulative fraction) pairs — the series a
 // plotting tool needs to redraw the paper's distribution figures.
-func WriteCDFCSV(path string, series map[string][]float64, maxPoints int) error {
+//
+// Every write error is propagated (including short writes surfaced only at
+// Flush and errors surfaced at Close), so a disk-full run fails loudly
+// instead of leaving a silently truncated CSV behind.
+func WriteCDFCSV(path string, series map[string][]float64, maxPoints int) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("experiments: close %s: %w", path, cerr)
+		}
+	}()
+	if err := writeCDFTo(f, series, maxPoints); err != nil {
+		return fmt.Errorf("experiments: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeCDFTo renders the CDF table to w through a buffered writer whose
+// Flush error is checked; fmt errors inside the loop are sticky on the
+// bufio.Writer, so checking Flush catches them all.
+func writeCDFTo(w io.Writer, series map[string][]float64, maxPoints int) error {
 	names := make([]string, 0, len(series))
 	for n := range series {
 		names = append(names, n)
@@ -28,32 +53,28 @@ func WriteCDFCSV(path string, series map[string][]float64, maxPoints int) error 
 			rows = len(cdfs[i])
 		}
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("experiments: create %s: %w", path, err)
-	}
-	defer f.Close()
+	bw := bufio.NewWriter(w)
 	for i, n := range names {
 		if i > 0 {
-			fmt.Fprint(f, ",")
+			fmt.Fprint(bw, ",")
 		}
-		fmt.Fprintf(f, "%s_value,%s_frac", n, n)
+		fmt.Fprintf(bw, "%s_value,%s_frac", n, n)
 	}
-	fmt.Fprintln(f)
+	fmt.Fprintln(bw)
 	for r := 0; r < rows; r++ {
 		for i := range names {
 			if i > 0 {
-				fmt.Fprint(f, ",")
+				fmt.Fprint(bw, ",")
 			}
 			if r < len(cdfs[i]) {
-				fmt.Fprintf(f, "%.4f,%.6f", cdfs[i][r].Value, cdfs[i][r].Frac)
+				fmt.Fprintf(bw, "%.4f,%.6f", cdfs[i][r].Value, cdfs[i][r].Frac)
 			} else {
-				fmt.Fprint(f, ",")
+				fmt.Fprint(bw, ",")
 			}
 		}
-		fmt.Fprintln(f)
+		fmt.Fprintln(bw)
 	}
-	return nil
+	return bw.Flush()
 }
 
 // DumpResultCDFs writes the three Fig 9-style distributions of a sweep

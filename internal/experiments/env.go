@@ -10,6 +10,8 @@ import (
 	"sort"
 	"time"
 
+	"dragonfly/internal/obs"
+	"dragonfly/internal/sim"
 	"dragonfly/internal/trace"
 	"dragonfly/internal/video"
 )
@@ -25,6 +27,30 @@ type Env struct {
 	// CSVDir, when set, makes the distribution experiments (Figs 9, 11, 12)
 	// also dump their CDF series as CSV files for replotting.
 	CSVDir string
+
+	// Obs, when non-nil, collects sweep metrics (session counts, per-session
+	// wall time, scheduler counters) across every experiment run in this
+	// environment.
+	Obs *obs.Registry
+
+	// TraceDir, when set, makes every sweep dump one JSONL event trace per
+	// session under it (see sim.Sweep.TraceDir).
+	TraceDir string
+
+	// LastSweep records the execution profile of the most recent sweep, for
+	// per-experiment wall-clock and throughput reporting.
+	LastSweep sim.Stats
+}
+
+// sweep runs one sim sweep with the environment's observability settings
+// (metrics registry, session trace directory) injected, recording its
+// execution profile in LastSweep.
+func (e *Env) sweep(sw sim.Sweep) (sim.Results, error) {
+	sw.Obs = e.Obs
+	sw.TraceDir = e.TraceDir
+	res, stats, err := sim.RunWithStats(sw)
+	e.LastSweep = stats
+	return res, err
 }
 
 // DefaultEnv builds the paper-scale environment: 7 videos × 10 users × 11

@@ -77,7 +77,7 @@ func ExtDecisionInterval(env *Env, w io.Writer) (map[string]SchemeSummary, error
 			return core.New(core.Options{DecisionInterval: iv, Name: fmt.Sprintf("Dragonfly@%s", iv)})
 		}
 	}
-	res, err := sim.Run(sim.Sweep{
+	res, err := env.sweep(sim.Sweep{
 		Videos:     env.Videos,
 		Users:      limitUsers(env.Users, 5),
 		Bandwidths: limitTraces(env.Belgian, 5),
@@ -117,7 +117,7 @@ func ExtDecodeStage(env *Env, w io.Writer) (map[string]SchemeSummary, error) {
 	fprintf(w, "%-16s %9s %10s %11s\n", "decoder", "medPSNR", "incmpFr%%", "maskShare%%")
 	for _, rate := range rates {
 		rate := rate
-		res, err := sim.Run(sim.Sweep{
+		res, err := env.sweep(sim.Sweep{
 			Videos:     env.Videos[:1],
 			Users:      limitUsers(env.Users, 3),
 			Bandwidths: limitTraces(env.Belgian, 3),
@@ -170,7 +170,7 @@ func ExtRoIGeometry(env *Env, w io.Writer) (map[string]SchemeSummary, error) {
 			return core.New(core.Options{RoIs: v.rois, Name: "RoI-" + v.key})
 		}
 	}
-	res, err := sim.Run(sim.Sweep{
+	res, err := env.sweep(sim.Sweep{
 		Videos:     env.Videos,
 		Users:      limitUsers(env.Users, 5),
 		Bandwidths: limitTraces(env.Belgian, 5),

@@ -13,7 +13,7 @@ import (
 // neighbor interpolation of masking holes.
 func ExtMaskingOptimizations(env *Env, w io.Writer) (map[string]SchemeSummary, error) {
 	run := func(schemes []string, interp bool) (sim.Results, error) {
-		return sim.Run(sim.Sweep{
+		return env.sweep(sim.Sweep{
 			Videos:            env.Videos,
 			Users:             limitUsers(env.Users, 5),
 			Bandwidths:        limitTraces(env.Belgian, 5),

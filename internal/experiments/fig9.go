@@ -61,7 +61,7 @@ type Fig9Result struct {
 // Two-tier on the Belgian traces, plus the 1-second look-ahead variants of
 // the wastage discussion (§4.3).
 func Fig9MainComparison(env *Env, w io.Writer) (*Fig9Result, error) {
-	res, err := sim.Run(sim.Sweep{
+	res, err := env.sweep(sim.Sweep{
 		Videos:     env.Videos,
 		Users:      env.Users,
 		Bandwidths: env.Belgian,

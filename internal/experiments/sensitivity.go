@@ -15,7 +15,7 @@ import (
 // Belgian traces. The paper: Dragonfly achieves higher PSPNR across
 // viewports, improving by over 2 dB for 69% of viewports.
 func Fig10PSPNR(env *Env, w io.Writer) (map[string]SchemeSummary, error) {
-	res, err := sim.Run(sim.Sweep{
+	res, err := env.sweep(sim.Sweep{
 		Videos:     env.Videos,
 		Users:      env.Users,
 		Bandwidths: env.Belgian,
@@ -49,7 +49,7 @@ func Fig10PSPNR(env *Env, w io.Writer) (map[string]SchemeSummary, error) {
 // board, and Pano hit hardest by the abrupt near-zero dips while
 // Dragonfly's masking absorbs them.
 func Fig11Irish(env *Env, w io.Writer) (map[string]SchemeSummary, error) {
-	res, err := sim.Run(sim.Sweep{
+	res, err := env.sweep(sim.Sweep{
 		Videos:     env.Videos,
 		Users:      env.Users,
 		Bandwidths: env.Irish,
@@ -83,7 +83,7 @@ func Fig11Irish(env *Env, w io.Writer) (map[string]SchemeSummary, error) {
 // seeing slightly more incomplete frames and slightly more overhead
 // (low-quality tiled encodings are less efficient).
 func Fig19MaskingStrategies(env *Env, w io.Writer) (map[string]SchemeSummary, error) {
-	res, err := sim.Run(sim.Sweep{
+	res, err := env.sweep(sim.Sweep{
 		Videos:     env.Videos,
 		Users:      env.Users,
 		Bandwidths: env.Belgian,
@@ -133,7 +133,7 @@ func Fig21to23ErrorSensitivity(env *Env, w io.Writer) ([]Fig21to23Row, error) {
 	fprintf(w, "== Figures 21-23: sensitivity to motion-prediction error ==\n")
 	fprintf(w, "Paper: Dragonfly stays highest-PSNR and lowest-overhead for D = 5, 20, 40 degrees.\n\n")
 	for _, d := range []float64{5, 20, 40} {
-		res, err := sim.Run(sim.Sweep{
+		res, err := env.sweep(sim.Sweep{
 			Videos:          env.Videos,
 			Users:           users,
 			Bandwidths:      traces,
@@ -172,7 +172,7 @@ type Fig5Result struct {
 // is why pausing for all tiles backfires.
 func Fig5YawDuringStalls(env *Env, w io.Writer) (*Fig5Result, error) {
 	// Flare on the most constrained traces produces the stalls.
-	res, err := sim.Run(sim.Sweep{
+	res, err := env.sweep(sim.Sweep{
 		Videos:     env.Videos[:1],
 		Users:      env.Users,
 		Bandwidths: env.Belgian,

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the admin endpoint: a mux serving
+//
+//	/metrics       the registry snapshot as JSON
+//	/healthz       a liveness probe
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// It is meant for a loopback or otherwise trusted listener; it performs no
+// authentication.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeAdmin listens on addr and serves the admin endpoint until ctx is
+// done, then shuts the listener down. It returns the bound address (useful
+// with ":0") and a channel that yields the server's exit error.
+func ServeAdmin(ctx context.Context, addr string, reg *Registry) (net.Addr, <-chan error, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+	go func() {
+		err := srv.Serve(l)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		done <- err
+	}()
+	return l.Addr(), done, nil
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind labels one session event. The set mirrors the lifecycle the
+// paper's §4 analysis reasons about: what was fetched, what was skipped,
+// what the viewer actually saw, and how the connection behaved.
+type EventKind string
+
+// Session event kinds.
+const (
+	EvDecide    EventKind = "decide"    // scheme emitted a fetch list (N = items)
+	EvFetch     EventKind = "fetch"     // chunk/tile transfer completed (N = bytes)
+	EvSkip      EventKind = "skip"      // frame rendered with >= 1 primary-skipped tile
+	EvMask      EventKind = "mask"      // frame rendered >= 1 tile from the masking stream
+	EvBlank     EventKind = "blank"     // frame rendered >= 1 fully blank tile
+	EvStall     EventKind = "stall"     // playback entered a rebuffering stall
+	EvStartup   EventKind = "startup"   // first frame rendered (N = delay in ms)
+	EvResume    EventKind = "resume"    // stall ended (N = stall length in ms)
+	EvReconnect EventKind = "reconnect" // link re-established (N = restored dedup entries)
+	EvOutage    EventKind = "outage"    // link lost; reconnector engaged
+	EvLinkDead  EventKind = "linkdead"  // reconnect budget exhausted or server goodbye
+)
+
+// Event is one entry of a session trace. At is session-relative time.
+type Event struct {
+	At    time.Duration `json:"-"`
+	AtMS  float64       `json:"t_ms"` // At in milliseconds, for the JSONL form
+	Kind  EventKind     `json:"ev"`
+	Chunk int           `json:"chunk,omitempty"`
+	Tile  int           `json:"tile,omitempty"`
+	// N carries the event's magnitude: bytes for EvFetch, list length for
+	// EvDecide, milliseconds for EvStartup/EvResume, etc.
+	N int64 `json:"n,omitempty"`
+}
+
+// DefaultTraceCap bounds a session trace when NewTrace is given 0.
+const DefaultTraceCap = 8192
+
+// Trace is a bounded per-session event log. When full, the oldest events
+// are overwritten (a ring), and Dropped counts the overwritten entries so
+// truncation is visible rather than silent. All methods are nil-safe, so a
+// session without tracing pays one branch per event.
+type Trace struct {
+	mu      sync.Mutex
+	events  []Event
+	head    int // index of the oldest event once the ring has wrapped
+	full    bool
+	dropped int64
+}
+
+// NewTrace creates a trace holding at most capacity events (0 = DefaultTraceCap).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{events: make([]Event, 0, capacity)}
+}
+
+// Add appends one event, evicting the oldest when the trace is full. Nil-safe.
+func (t *Trace) Add(e Event) {
+	if t == nil {
+		return
+	}
+	e.AtMS = float64(e.At) / float64(time.Millisecond)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) < cap(t.events) && !t.full {
+		t.events = append(t.events, e)
+		return
+	}
+	t.full = true
+	t.events[t.head] = e
+	t.head = (t.head + 1) % len(t.events)
+	t.dropped++
+}
+
+// Record is shorthand for Add with the common fields.
+func (t *Trace) Record(at time.Duration, kind EventKind, n int64) {
+	t.Add(Event{At: at, Kind: kind, N: n})
+}
+
+// Len returns the number of retained events. Nil-safe (0).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were evicted by the ring bound. Nil-safe (0).
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the retained events in chronological order. Nil-safe (nil).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out
+}
+
+// WriteJSONL dumps the trace as one JSON object per line. Nil-safe (no-op).
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -8,6 +8,7 @@ import (
 
 	"dragonfly/internal/decoder"
 	"dragonfly/internal/geom"
+	"dragonfly/internal/obs"
 	"dragonfly/internal/predict"
 	"dragonfly/internal/quality"
 	"dragonfly/internal/trace"
@@ -52,6 +53,11 @@ type Config struct {
 	// scheme behavior.
 	Debug io.Writer
 
+	// Trace, when non-nil, receives structured session events (decisions,
+	// fetches, skips, masks, stalls) for JSONL export. Nil disables tracing
+	// at the cost of one branch per event.
+	Trace *obs.Trace
+
 	// MaxWall caps session wall time against pathological stalls
 	// (default: 3x the video duration plus 30 s).
 	MaxWall time.Duration
@@ -61,6 +67,11 @@ type Config struct {
 func Run(cfg Config) (*Metrics, error) {
 	if cfg.Manifest == nil || cfg.Head == nil || cfg.Bandwidth == nil || cfg.Scheme == nil {
 		return nil, errors.New("player: config requires Manifest, Head, Bandwidth and Scheme")
+	}
+	if len(cfg.Head.Samples) == 0 || cfg.Head.SamplePeriod <= 0 {
+		// A zero-length head trace would wedge the event loop (the head
+		// schedule never advances) and poison every ratio downstream.
+		return nil, errors.New("player: head trace needs samples and a positive sample period")
 	}
 	if cfg.Viewport.RadiusDeg == 0 {
 		cfg.Viewport = geom.DefaultViewport
@@ -274,6 +285,7 @@ func (e *engine) deliver() {
 	e.deliveries = append(e.deliveries, Delivery{Item: tr.item, Bytes: tr.size})
 	e.met.BytesReceived += tr.size
 	e.bwPred.ObserveTransfer(tr.size, e.now-tr.started)
+	e.cfg.Trace.Add(obs.Event{At: e.now, Kind: obs.EvFetch, Chunk: tr.item.Chunk, Tile: int(tr.item.Tile), N: tr.size})
 	e.debugf("deliver %s chunk=%d tile=%d q=%d bytes=%d", tr.item.Stream, tr.item.Chunk, tr.item.Tile, tr.item.Quality, tr.size)
 }
 
@@ -296,6 +308,7 @@ func (e *engine) decide() {
 		FrameDeadline: e.frameDeadline,
 	}
 	e.queue = e.cfg.Scheme.Decide(ctx)
+	e.cfg.Trace.Record(e.now, obs.EvDecide, int64(len(e.queue)))
 	e.debugf("decide frame=%d stalled=%v est=%.1fMbps items=%d", e.playFrame, e.stalled, mbps, len(e.queue))
 }
 
@@ -360,10 +373,12 @@ func (e *engine) tryResume() {
 	if e.startup {
 		e.met.StartupDelay = e.now
 		e.startup = false
+		e.cfg.Trace.Record(e.now, obs.EvStartup, int64(e.now/time.Millisecond))
 		e.debugf("startup complete, playback begins")
 	} else {
 		e.met.RebufferDuration += e.now - e.stallStart
 		e.met.StallIntervals = append(e.met.StallIntervals, StallInterval{Start: e.stallStart, End: e.now})
+		e.cfg.Trace.Record(e.now, obs.EvResume, int64((e.now-e.stallStart)/time.Millisecond))
 		e.debugf("resume after %s stall", e.now-e.stallStart)
 	}
 	e.stalled = false
@@ -380,6 +395,7 @@ func (e *engine) renderOrStall() {
 		e.stalled = true
 		e.stallStart = e.now
 		e.met.StallEvents++
+		e.cfg.Trace.Add(obs.Event{At: e.now, Kind: obs.EvStall, Chunk: chunk})
 		e.debugf("stall frame=%d chunk=%d", e.playFrame, chunk)
 		return
 	}
@@ -391,7 +407,20 @@ func (e *engine) renderOrStall() {
 func (e *engine) renderFrame() {
 	o := e.cfg.Head.At(e.now)
 	chunk := e.m.ChunkOfFrame(e.playFrame)
+	skips, masks, blanks := e.met.PrimarySkipFrames, e.met.RenderedMasking, e.met.RenderedBlank
 	e.acct.RenderFrame(chunk, o, e.received, e.now)
+	if e.cfg.Trace != nil {
+		// Per-frame display events, derived from the accountant's deltas.
+		if e.met.PrimarySkipFrames > skips {
+			e.cfg.Trace.Add(obs.Event{At: e.now, Kind: obs.EvSkip, Chunk: chunk})
+		}
+		if d := e.met.RenderedMasking - masks; d > 0 {
+			e.cfg.Trace.Add(obs.Event{At: e.now, Kind: obs.EvMask, Chunk: chunk, N: d})
+		}
+		if d := e.met.RenderedBlank - blanks; d > 0 {
+			e.cfg.Trace.Add(obs.Event{At: e.now, Kind: obs.EvBlank, Chunk: chunk, N: d})
+		}
+	}
 	e.playFrame++
 	e.nextFrameAt = e.now + e.frameDur
 }

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dragonfly/internal/obs"
 	"dragonfly/internal/player"
 	"dragonfly/internal/proto"
 	"dragonfly/internal/video"
@@ -58,7 +59,35 @@ type Server struct {
 	// playback relies on. 0 means DefaultMaxQueue.
 	MaxQueue int
 
+	// Obs, when non-nil, mirrors the send accounting into a metrics
+	// registry (srv_* counters, tile-size and queue-length histograms) for
+	// the admin endpoint. Nil disables the mirroring.
+	Obs *obs.Registry
+
 	ctr counters
+}
+
+// connObs is the per-connection binding of the registry metrics: handles
+// are resolved once per connection so the tile-send hot loop updates them
+// with plain atomics, no map lookups. All handles are nil-safe.
+type connObs struct {
+	primary, maskTile, maskFull *obs.Counter
+	bytes, pings, shed          *obs.Counter
+	tileBytes, queueLen         *obs.Histogram
+}
+
+func (s *Server) bindConnObs() connObs {
+	r := s.Obs // nil registry hands out detached, nil-safe metrics
+	return connObs{
+		primary:   r.Counter("srv_primary_sent"),
+		maskTile:  r.Counter("srv_mask_tile_sent"),
+		maskFull:  r.Counter("srv_mask_full_sent"),
+		bytes:     r.Counter("srv_bytes_sent"),
+		pings:     r.Counter("srv_pings"),
+		shed:      r.Counter("srv_shed_items"),
+		tileBytes: r.Histogram("srv_tile_bytes"),
+		queueLen:  r.Histogram("srv_queue_len"),
+	}
 }
 
 // counters aggregates send accounting across all connections.
@@ -364,10 +393,17 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 		return fmt.Errorf("server: send manifest: %w", err)
 	}
 
+	co := s.bindConnObs()
+	s.Obs.Counter("srv_conns_opened").Inc()
+	defer s.Obs.Counter("srv_conns_closed").Inc()
+
 	st := newSendState(m)
 	if held != nil {
+		restored := st.preload(*held, m)
 		s.ctr.resumes.Add(1)
-		s.ctr.resumedItems.Add(st.preload(*held, m))
+		s.ctr.resumedItems.Add(restored)
+		s.Obs.Counter("srv_resumes").Inc()
+		s.Obs.Counter("srv_resumed_items").Add(restored)
 	}
 	// Graceful drain: cancellation closes the send state, so the sender
 	// flushes what is queued and says goodbye instead of vanishing.
@@ -392,8 +428,10 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 			}
 			switch msg.Type {
 			case proto.MsgRequest:
+				co.queueLen.Observe(float64(len(msg.Request.Items)))
 				if shed := st.install(*msg.Request, maxQueue); shed > 0 {
 					s.ctr.shedItems.Add(int64(shed))
+					co.shed.Add(int64(shed))
 				}
 			case proto.MsgBye:
 				readErr <- nil
@@ -443,6 +481,7 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 						return fmt.Errorf("server: send ping: %w", err)
 					}
 					s.ctr.pings.Add(1)
+					co.pings.Inc()
 				}
 			} else {
 				<-st.wake
@@ -461,12 +500,17 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 		switch {
 		case it.Stream == player.Primary:
 			s.ctr.primarySent.Add(1)
+			co.primary.Inc()
 		case it.Full360:
 			s.ctr.maskFullSent.Add(1)
+			co.maskFull.Inc()
 		default:
 			s.ctr.maskTileSent.Add(1)
+			co.maskTile.Inc()
 		}
 		s.ctr.bytesSent.Add(size)
+		co.bytes.Add(size)
+		co.tileBytes.Observe(float64(size))
 	}
 	// Best-effort goodbye: on graceful drain it tells the client the
 	// remaining queue has been flushed and nothing more is coming.

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dragonfly/internal/obs"
+)
+
+// TestRunWithStatsEmitsTracesAndMetrics exercises the sweep observability
+// path: with Obs and TraceDir set, a sweep reports its execution profile,
+// feeds the registry, and writes one JSONL event trace per session.
+func TestRunWithStatsEmitsTracesAndMetrics(t *testing.T) {
+	sw := smallSweep("dragonfly")
+	sw.Obs = obs.NewRegistry()
+	sw.TraceDir = filepath.Join(t.TempDir(), "traces")
+
+	res, stats, err := RunWithStats(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := len(res["Dragonfly"])
+	if sessions != 4 { // 1 video x 2 users x 2 bandwidths
+		t.Fatalf("got %d sessions, want 4", sessions)
+	}
+	if stats.Sessions != sessions {
+		t.Errorf("stats.Sessions = %d, want %d", stats.Sessions, sessions)
+	}
+	if stats.Wall <= 0 || stats.SessionsPerSec <= 0 {
+		t.Errorf("stats not populated: %+v", stats)
+	}
+
+	snap := sw.Obs.Snapshot()
+	if got := snap.Counters["sim_sessions"]; got != int64(sessions) {
+		t.Errorf("sim_sessions = %d, want %d", got, sessions)
+	}
+	if hs := snap.Histograms["sim_session_ms"]; hs.Count != int64(sessions) {
+		t.Errorf("sim_session_ms count = %d, want %d", hs.Count, sessions)
+	}
+	// The worker wires the registry into factory-built core schemes, so the
+	// scheduler's own counters must show up too.
+	if got := snap.Counters["core_decisions"]; got <= 0 {
+		t.Errorf("core_decisions = %d, want > 0 (SetObs not wired into scheme)", got)
+	}
+
+	files, err := filepath.Glob(filepath.Join(sw.TraceDir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != sessions {
+		t.Fatalf("got %d trace files, want %d: %v", len(files), sessions, files)
+	}
+	// Every line of every trace must be a well-formed event with a kind.
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		lines := 0
+		for sc.Scan() {
+			var ev struct {
+				Kind string `json:"ev"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("%s: bad JSONL line: %v", path, err)
+			}
+			if ev.Kind == "" {
+				t.Fatalf("%s: event without a kind: %s", path, sc.Text())
+			}
+			lines++
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if lines == 0 {
+			t.Errorf("%s: empty session trace", path)
+		}
+	}
+}

@@ -7,6 +7,8 @@ package sim
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -15,6 +17,7 @@ import (
 	"dragonfly/internal/baseline"
 	"dragonfly/internal/core"
 	"dragonfly/internal/decoder"
+	"dragonfly/internal/obs"
 	"dragonfly/internal/player"
 	"dragonfly/internal/quality"
 	"dragonfly/internal/trace"
@@ -95,6 +98,21 @@ type Sweep struct {
 	Metric          quality.Metric
 	PredictErrorDeg float64
 	Workers         int // 0 = GOMAXPROCS
+
+	// Obs, when non-nil, receives sweep throughput metrics: a sim_sessions
+	// counter and a sim_session_ms wall-clock histogram.
+	Obs *obs.Registry
+
+	// TraceDir, when non-empty, writes one JSONL event trace per session to
+	// <TraceDir>/<scheme key>_<index>.jsonl (the directory is created).
+	TraceDir string
+}
+
+// Stats reports a sweep's execution profile.
+type Stats struct {
+	Sessions       int           // sessions executed
+	Wall           time.Duration // sweep wall-clock time
+	SessionsPerSec float64       // throughput (0 when Wall is 0)
 }
 
 // Results maps scheme display name to its session metrics, in a stable
@@ -103,6 +121,30 @@ type Results map[string][]*player.Metrics
 
 // Run executes the sweep.
 func Run(sw Sweep) (Results, error) {
+	res, _, err := RunWithStats(sw)
+	return res, err
+}
+
+// RunWithStats executes the sweep and also reports its execution profile
+// (session count, wall time, throughput).
+func RunWithStats(sw Sweep) (Results, Stats, error) {
+	started := time.Now()
+	res, err := run(sw)
+	stats := Stats{Wall: time.Since(started)}
+	for _, mets := range res {
+		stats.Sessions += len(mets)
+	}
+	if secs := stats.Wall.Seconds(); secs > 0 {
+		stats.SessionsPerSec = float64(stats.Sessions) / secs
+	}
+	if err == nil {
+		sw.Obs.Counter("sim_sessions").Add(int64(stats.Sessions))
+		sw.Obs.Gauge("sim_sessions_per_sec").Set(stats.SessionsPerSec)
+	}
+	return res, stats, err
+}
+
+func run(sw Sweep) (Results, error) {
 	reg := Registry()
 	type job struct {
 		scheme  string
@@ -115,6 +157,16 @@ func Run(sw Sweep) (Results, error) {
 	if perScheme == 0 {
 		return nil, fmt.Errorf("sim: sweep needs videos, users and bandwidth traces")
 	}
+	if sw.TraceDir != "" {
+		if err := os.MkdirAll(sw.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("sim: trace dir: %w", err)
+		}
+	}
+	// Results are keyed by the scheme's display name, so two sweep keys
+	// resolving to the same name (e.g. an Extra factory shadowing a registry
+	// scheme) would silently overwrite each other's sessions. Detect the
+	// collision up front, before any session runs.
+	keyByName := map[string]string{}
 	for _, key := range sw.Schemes {
 		factory, ok := sw.Extra[key]
 		if !ok {
@@ -123,6 +175,11 @@ func Run(sw Sweep) (Results, error) {
 		if !ok {
 			return nil, fmt.Errorf("sim: unknown scheme %q", key)
 		}
+		name := factory().Name()
+		if prev, ok := keyByName[name]; ok && prev != key {
+			return nil, fmt.Errorf("sim: scheme keys %q and %q share display name %q; their results would overwrite each other", prev, key, name)
+		}
+		keyByName[name] = key
 		i := 0
 		for _, v := range sw.Videos {
 			for _, u := range sw.Users {
@@ -170,7 +227,20 @@ func Run(sw Sweep) (Results, error) {
 					cfg.Decoder = sw.Decoder()
 				}
 				cfg.MaskInterpolation = sw.MaskInterpolation
+				if sw.Obs != nil {
+					if o, ok := cfg.Scheme.(interface{ SetObs(*obs.Registry) }); ok {
+						o.SetObs(sw.Obs)
+					}
+				}
+				if sw.TraceDir != "" {
+					cfg.Trace = obs.NewTrace(0)
+				}
+				sessionStart := time.Now()
 				met, err := player.Run(cfg)
+				sw.Obs.Histogram("sim_session_ms").Observe(float64(time.Since(sessionStart)) / float64(time.Millisecond))
+				if err == nil && sw.TraceDir != "" {
+					err = writeSessionTrace(sw.TraceDir, j.scheme, j.idx, cfg.Trace)
+				}
 				outCh <- outcome{scheme: j.scheme, idx: j.idx, met: met, err: err}
 			}
 		}()
@@ -193,14 +263,34 @@ func Run(sw Sweep) (Results, error) {
 	for key, outs := range byScheme {
 		sort.Slice(outs, func(a, b int) bool { return outs[a].idx < outs[b].idx })
 		name := outs[0].met.SchemeName
+		if _, dup := res[name]; dup {
+			return nil, fmt.Errorf("sim: duplicate display name %q (key %q)", name, key)
+		}
 		mets := make([]*player.Metrics, len(outs))
 		for i, o := range outs {
 			mets[i] = o.met
 		}
-		_ = key
 		res[name] = mets
 	}
 	return res, nil
+}
+
+// writeSessionTrace dumps one session's event trace as JSONL.
+func writeSessionTrace(dir, key string, idx int, tr *obs.Trace) (err error) {
+	path := filepath.Join(dir, fmt.Sprintf("%s_%04d.jsonl", key, idx))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sim: session trace: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("sim: session trace %s: %w", path, cerr)
+		}
+	}()
+	if err := tr.WriteJSONL(f); err != nil {
+		return fmt.Errorf("sim: session trace %s: %w", path, err)
+	}
+	return nil
 }
 
 // PooledFrameScores concatenates every session's per-frame quality scores —

@@ -47,6 +47,13 @@ func (h *HeadTrace) At(t time.Duration) geom.Orientation {
 	if t <= 0 {
 		return h.Samples[0]
 	}
+	if h.SamplePeriod <= 0 {
+		// Degenerate (zero-length) trace: every sample is co-located at t=0.
+		// Without this guard the division below yields +Inf, whose int
+		// conversion is undefined — on amd64 it produces a negative index
+		// and panics.
+		return h.Samples[n-1]
+	}
 	idx := float64(t) / float64(h.SamplePeriod)
 	i := int(idx)
 	if i >= n-1 {

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerate the committed benchmark baseline (BENCH_baseline.json) from the
+# root-package experiment benchmarks. BENCHTIME tunes -benchtime; the
+# default single iteration is coarse but cheap, and cmd/benchdiff's
+# threshold is sized for that noise.
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1x}"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench=. -benchmem -benchtime="$benchtime" . | tee "$raw"
+go run ./cmd/benchdiff -emit "$raw" -o BENCH_baseline.json

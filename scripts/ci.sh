@@ -1,10 +1,19 @@
 #!/bin/sh
-# CI gate: formatting, vet, and the full test suite under the race
-# detector. The chaos tests (internal/client, internal/server,
+# CI gate: formatting, vet, the full test suite under the race detector,
+# and a one-iteration benchmark smoke compared against the committed
+# baseline. The chaos tests (internal/client, internal/server,
 # internal/netem) exercise real goroutine-per-connection sessions with
 # mid-stream disconnects, so -race here is load-bearing, not ceremony.
+#
+# Single-iteration timing is noisy, so the benchmark comparison only warns
+# by default; pass -strict to make a regression fail the gate.
 set -eu
 cd "$(dirname "$0")/.."
+
+strict=0
+for arg in "$@"; do
+	[ "$arg" = "-strict" ] && strict=1
+done
 
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -15,3 +24,14 @@ fi
 
 go vet ./...
 go test -race -timeout 600s ./...
+
+# Benchmark smoke: every benchmark must still run, and its timing is
+# checked against BENCH_baseline.json with cmd/benchdiff.
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench=. -benchtime=1x . | tee "$raw"
+if [ "$strict" = 1 ]; then
+	go run ./cmd/benchdiff -baseline BENCH_baseline.json -new "$raw"
+else
+	go run ./cmd/benchdiff -baseline BENCH_baseline.json -new "$raw" -warn
+fi
