@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -77,8 +78,11 @@ func TestDiffFailsOnInjectedRegression(t *testing.T) {
 		t.Fatal(err)
 	}
 	baseline := filepath.Join(dir, "baseline.json")
-	if err := emitBaseline(raw, baseline); err != nil {
+	if err := emitBaseline(raw, baseline, "test baseline"); err != nil {
 		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(baseline); err != nil || !strings.Contains(string(data), "test baseline") {
+		t.Fatalf("note not stored in baseline (err %v)", err)
 	}
 	var bl Baseline
 	data, err := os.ReadFile(baseline)
@@ -120,4 +124,28 @@ func TestDiffFailsOnInjectedRegression(t *testing.T) {
 	if err := diff(baseline, raw, 1.5, false, &buf); err != nil {
 		t.Fatalf("identical run flagged: %v", err)
 	}
+}
+
+// Example_baselineComparison shows the comparison underneath
+// `benchdiff -baseline ... -new ...`: each baseline benchmark is matched
+// against the fresh run and flagged once its ns/op ratio exceeds the
+// threshold. scripts/ci.sh runs exactly this against BENCH_baseline.json.
+func Example_baselineComparison() {
+	baseline := map[string]Result{
+		"BenchmarkDecideFull360":      {NsPerOp: 36000},
+		"BenchmarkOverlapCapExact":    {NsPerOp: 3100},
+		"BenchmarkOverlapTableLookup": {NsPerOp: 580},
+	}
+	fresh := map[string]Result{
+		"BenchmarkDecideFull360":      {NsPerOp: 39000}, // x1.08: noise
+		"BenchmarkOverlapCapExact":    {NsPerOp: 6500},  // x2.10: regression
+		"BenchmarkOverlapTableLookup": {NsPerOp: 575},
+	}
+	regressions := compare(baseline, fresh, 1.5, os.Stdout)
+	fmt.Println("regressed:", regressions)
+	// Output:
+	// ok       BenchmarkDecideFull360                          36000 ->        39000 ns/op (x1.08)
+	// REGRESSION BenchmarkOverlapCapExact                         3100 ->         6500 ns/op (x2.10)
+	// ok       BenchmarkOverlapTableLookup                       580 ->          575 ns/op (x0.99)
+	// regressed: [BenchmarkOverlapCapExact]
 }

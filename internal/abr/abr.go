@@ -3,6 +3,13 @@
 // a safety margin, and helpers to pick the best quality fitting a budget.
 // The paper's baselines pick a bitrate per chunk with a traditional ABR
 // algorithm and then map it onto tile qualities (§4.1).
+//
+// This is deliberately the simplest credible ABR — a throughput estimate
+// discounted by a fixed safety factor, as rate-based players ship it — so
+// that the baselines' quality differences against Dragonfly come from
+// their tile-selection logic, not from ABR sophistication. The functions
+// here are pure and allocation-free; they are called on the per-decision
+// hot path of every baseline scheme (see internal/player.Scheme).
 package abr
 
 import (

@@ -3,6 +3,19 @@
 // PassiveSkip ablation variant of Table 2. All of them were re-implemented
 // by the paper's authors on the Dragonfly codebase (§4.1 "Scheme
 // implementations"); this package does the same on top of internal/player.
+//
+// Each scheme is a player.Scheme: Flare fetches a predicted-viewport
+// region plus periphery with per-ring quality drops; Pano optimizes a
+// per-chunk quality assignment under an abr.ChunkBudget; Two-tier layers a
+// full-360° base stream under viewport-driven enhancement; PassiveSkip is
+// Dragonfly's scheduler with proactive skipping disabled. Flare and Pano
+// stall on any missing viewport tile, Two-tier on a missing base tile;
+// PassiveSkip keeps Dragonfly's continuous (never-stall) playback and
+// skips only passively, at the render deadline.
+//
+// Schemes here follow the same Decide contract as internal/core: the
+// returned fetch list may alias scheme-owned buffers and the *Context is
+// caller-owned, so neither may be retained across decisions.
 package baseline
 
 import (

@@ -381,7 +381,9 @@ func (s *session) reconnectLoop() {
 		s.met.ResumedTiles += int64(sum.Count())
 		// Do not bill the outage to the throughput predictor.
 		s.lastEvent = now
-		req := s.lastReq
+		// Copy while holding the lock: lastReq's backing array is reused by
+		// the next decision, and the wire write below happens unlocked.
+		req := append([]player.RequestItem(nil), s.lastReq...)
 		s.gen++
 		gen := s.gen
 		s.mu.Unlock()
@@ -649,7 +651,9 @@ func (s *session) decide(now time.Duration, playFrame int, stalled bool, nextFra
 	items := s.scheme.Decide(ctx)
 	s.gen++
 	gen := s.gen
-	s.lastReq = items
+	// Copy: Decide's result may alias scheme-owned buffers that the next
+	// decision overwrites, and the reconnector re-issues lastReq later.
+	s.lastReq = append(s.lastReq[:0], items...)
 	if now > s.lastEvent {
 		s.lastEvent = now
 	}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dragonfly/internal/geom"
+	"dragonfly/internal/player"
+	"dragonfly/internal/video"
+)
+
+// movingContext returns a context whose prediction drifts with time, so
+// repeated decisions exercise changing candidate sets rather than a single
+// cached shape.
+func movingContext(m *video.Manifest, mbps float64) *player.Context {
+	return &player.Context{
+		Now:       0,
+		PlayFrame: 0,
+		Manifest:  m,
+		Grid:      m.Grid(),
+		Viewport:  geom.DefaultViewport,
+		Received:  player.NewReceived(m),
+		Predict: func(at time.Duration) geom.Orientation {
+			return geom.Orientation{Yaw: 20 * at.Seconds(), Pitch: 5}
+		},
+		PredictedMbps: mbps,
+		FrameDuration: time.Second / 30,
+		FrameDeadline: func(frame int) time.Duration { return time.Duration(frame) * time.Second / 30 },
+	}
+}
+
+// TestDecideAllocationFree pins the tentpole property: after warm-up, a
+// decision refinement reuses its scratch buffers and allocates nothing, for
+// every masking variant.
+func TestDecideAllocationFree(t *testing.T) {
+	m := testManifest()
+	for c := range m.MaskDisplacement {
+		m.MaskDisplacement[c] = 20
+	}
+	variants := map[string]Options{
+		"full360":    DefaultOptions(),
+		"tiled":      {Masking: MaskTiled},
+		"tiledSched": {Masking: MaskTiled, MaskScheduled: true},
+		"none":       {Masking: MaskNone},
+		"exact":      {ExactGeometry: true},
+	}
+	for name, opts := range variants {
+		t.Run(name, func(t *testing.T) {
+			d := New(opts)
+			ctx := movingContext(m, 8)
+			// Warm up until every scratch buffer has reached steady-state
+			// capacity (the head keeps moving, so capacities must absorb
+			// the largest candidate set).
+			for i := 0; i < 10; i++ {
+				ctx.Now = time.Duration(i) * 100 * time.Millisecond
+				d.Decide(ctx)
+			}
+			i := 10
+			if n := testing.AllocsPerRun(50, func() {
+				ctx.Now = time.Duration(i%30) * 100 * time.Millisecond
+				i++
+				d.Decide(ctx)
+			}); n != 0 {
+				t.Errorf("%s: Decide allocated %v per run in steady state", name, n)
+			}
+		})
+	}
+}
+
+// TestMaskingPlannerAllocationFree pins the same property for the masking
+// planner's scratch path in isolation (plain tiled and utility-scheduled).
+func TestMaskingPlannerAllocationFree(t *testing.T) {
+	m := testManifest()
+	for c := range m.MaskDisplacement {
+		m.MaskDisplacement[c] = 20
+	}
+	for name, opts := range map[string]Options{
+		"tiled":      {Masking: MaskTiled},
+		"tiledSched": {Masking: MaskTiled, MaskScheduled: true},
+		"full360":    DefaultOptions(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			d := New(opts)
+			ctx := movingContext(m, 8)
+			var buf []player.RequestItem
+			for i := 0; i < 10; i++ {
+				ctx.Now = time.Duration(i) * 100 * time.Millisecond
+				buf = d.appendMasking(ctx, buf[:0], &d.plan)
+			}
+			i := 10
+			if n := testing.AllocsPerRun(50, func() {
+				ctx.Now = time.Duration(i%30) * 100 * time.Millisecond
+				i++
+				buf = d.appendMasking(ctx, buf[:0], &d.plan)
+			}); n != 0 {
+				t.Errorf("%s: masking planner allocated %v per run", name, n)
+			}
+		})
+	}
+}
+
+// TestDecideTablePathMatchesExactShape checks that the table-driven fast
+// path and the ExactGeometry fallback agree on the decision's shape: the
+// same chunks covered, similar candidate counts, and every emitted item
+// well-formed. (Scores differ by bounded quantization, so assignments may
+// differ tile-by-tile; the structural agreement is what playback depends
+// on.)
+func TestDecideTablePathMatchesExactShape(t *testing.T) {
+	m := testManifest()
+	table := New(Options{})
+	exact := New(Options{ExactGeometry: true})
+	ctxT := movingContext(m, 8)
+	ctxE := movingContext(m, 8)
+	for i := 0; i < 5; i++ {
+		ctxT.Now = time.Duration(i) * 200 * time.Millisecond
+		ctxE.Now = ctxT.Now
+		ti := table.Decide(ctxT)
+		ei := exact.Decide(ctxE)
+		tc := map[int]bool{}
+		ec := map[int]bool{}
+		for _, it := range ti {
+			tc[it.Chunk] = true
+		}
+		for _, it := range ei {
+			ec[it.Chunk] = true
+		}
+		for c := range ec {
+			if !tc[c] {
+				t.Errorf("step %d: exact path covers chunk %d, table path does not", i, c)
+			}
+		}
+		if len(ti) == 0 || len(ei) == 0 {
+			t.Fatalf("step %d: empty decision (table %d, exact %d)", i, len(ti), len(ei))
+		}
+		nt, ne := len(ti), len(ei)
+		if nt*2 < ne || ne*2 < nt {
+			t.Errorf("step %d: item counts diverge badly: table %d vs exact %d", i, nt, ne)
+		}
+	}
+}

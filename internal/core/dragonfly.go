@@ -12,8 +12,25 @@ import (
 // Dragonfly is the paper's scheme: a masking stream fetched with a long
 // look-ahead plus a utility-scheduled primary stream with proactive
 // skipping, refined every decision interval.
+//
+// An instance carries per-session scratch state (reusable window, scheduler
+// and output buffers, and the session's resolved overlap/score tables), so
+// each session needs its own instance and Decide must not be called
+// concurrently — the same contract the sim harness already follows by
+// building one scheme per session.
 type Dragonfly struct {
 	opts Options
+
+	// Per-session scratch, all reused across decisions.
+	tabs    sessionTables
+	plan    maskPlan
+	w       window    // primary-stream window
+	sched   scheduler // primary-stream scheduler
+	mw      window    // masking-stream window (MaskScheduled)
+	msched  scheduler // masking-stream scheduler (MaskScheduled)
+	tileBuf []geom.TileID
+	items   [2][]player.RequestItem // double-buffered Decide output
+	flip    int
 }
 
 // New creates a Dragonfly instance (or an ablation variant, per Options).
@@ -45,6 +62,7 @@ func New(opts Options) *Dragonfly {
 		d.MaxCandidates = opts.MaxCandidates
 	}
 	d.MaskScheduled = opts.MaskScheduled
+	d.ExactGeometry = opts.ExactGeometry
 	d.Name = opts.Name
 	d.Obs = opts.Obs
 	return &Dragonfly{opts: d}
@@ -78,12 +96,22 @@ func (d *Dragonfly) StallPolicy() player.StallPolicy { return player.NeverStall 
 // long look-ahead, then runs the utility scheduler for the primary stream
 // over the short look-ahead, with the masking backlog counted against the
 // bandwidth budget (§3.2's bandwidth split).
+//
+// The returned slice aliases a per-instance buffer and is valid until the
+// next Decide call on this instance (see player.Scheme); steady-state calls
+// allocate nothing.
 func (d *Dragonfly) Decide(ctx *player.Context) []player.RequestItem {
-	maskItems, maskPlanned := d.planMasking(ctx)
+	d.tabs.resolve(ctx, d.opts)
+	idx := d.flip
+	d.flip = 1 - d.flip
+
+	// Masking first (earliest-deadline chunks lead), then the utility-
+	// ordered primary fetches.
+	items := d.appendMasking(ctx, d.items[idx][:0], &d.plan)
 
 	var maskBytes int64
-	for _, it := range maskItems {
-		maskBytes += it.Size(ctx.Manifest)
+	for i := range items {
+		maskBytes += items[i].Size(ctx.Manifest)
 	}
 	rate := ctx.PredictedMbps * 1e6 / 8
 	if rate < 1 {
@@ -91,22 +119,19 @@ func (d *Dragonfly) Decide(ctx *player.Context) []player.RequestItem {
 	}
 	baseOff := time.Duration(float64(maskBytes) / rate * float64(time.Second))
 
-	w := buildWindow(ctx, d.opts, maskPlanned)
-	sched := newScheduler(w, d.opts.minPrimaryQuality(), baseOff)
-	list := sched.run()
+	d.w.build(ctx, d.opts, &d.plan, &d.tabs)
+	d.sched.reset(&d.w, d.opts.minPrimaryQuality(), baseOff)
+	list := d.sched.run()
 
 	if r := d.opts.Obs; r != nil {
 		r.Counter("core_decisions").Inc()
-		r.Counter("core_candidates").Add(int64(len(w.cands)))
+		r.Counter("core_candidates").Add(int64(len(d.w.cands)))
 		r.Counter("core_listed").Add(int64(len(list)))
-		r.Counter("core_skipped").Add(int64(len(w.cands) - len(list)))
-		r.Counter("core_mask_items").Add(int64(len(maskItems)))
-		r.Histogram("core_utility").Observe(sched.totalUtility())
+		r.Counter("core_skipped").Add(int64(len(d.w.cands) - len(list)))
+		r.Counter("core_mask_items").Add(int64(len(items)))
+		r.Histogram("core_utility").Observe(d.sched.totalUtility())
 	}
 
-	// Masking first (earliest-deadline chunks lead), then the utility-
-	// ordered primary fetches.
-	items := maskItems
 	for _, e := range list {
 		items = append(items, player.RequestItem{
 			Stream:  player.Primary,
@@ -115,18 +140,86 @@ func (d *Dragonfly) Decide(ctx *player.Context) []player.RequestItem {
 			Quality: video.Quality(e.q),
 		})
 	}
+	d.items[idx] = items
 	return items
+}
+
+// maskPlan records which (chunk, tile) pairs the masking stream covers in
+// the current decision — the scheduler's skip floor. It replaces the
+// closure-per-decision predicate with a reusable flat bitmap.
+type maskPlan struct {
+	mode       maskPlanMode
+	firstChunk int
+	tiles      int
+	set        []bool                      // [(chunk-firstChunk)*tiles + tile]; planSet only
+	fn         func(int, geom.TileID) bool // planFunc only (tests)
+}
+
+type maskPlanMode int
+
+const (
+	planNone maskPlanMode = iota // no masking stream
+	planAll                      // full-360: every tile covered
+	planSet                      // tiled: bitmap membership
+	planFunc                     // caller-supplied predicate
+)
+
+// covered reports whether the masking plan includes the tile.
+func (p *maskPlan) covered(chunk int, tile geom.TileID) bool {
+	switch p.mode {
+	case planAll:
+		return true
+	case planSet:
+		rel := chunk - p.firstChunk
+		if rel < 0 || rel*p.tiles >= len(p.set) {
+			return false
+		}
+		return p.set[rel*p.tiles+int(tile)]
+	case planFunc:
+		return p.fn(chunk, tile)
+	default:
+		return false
+	}
+}
+
+// resetSet prepares the bitmap for `chunks` chunks starting at firstChunk,
+// reusing the backing array.
+func (p *maskPlan) resetSet(firstChunk, chunks, tiles int) {
+	p.mode = planSet
+	p.firstChunk = firstChunk
+	p.tiles = tiles
+	n := chunks * tiles
+	if cap(p.set) < n {
+		p.set = make([]bool, n)
+		return
+	}
+	p.set = p.set[:n]
+	for i := range p.set {
+		p.set[i] = false
+	}
 }
 
 // planMasking returns the masking fetches still needed for chunks whose
 // playback intersects the masking look-ahead, ordered by chunk, plus a
-// membership predicate used as the scheduler's skip floor.
+// membership predicate used as the scheduler's skip floor. Decide uses the
+// allocation-free appendMasking directly; this wrapper keeps the
+// predicate-returning shape for tests and one-shot callers.
 func (d *Dragonfly) planMasking(ctx *player.Context) ([]player.RequestItem, func(int, geom.TileID) bool) {
+	var p maskPlan
+	items := d.appendMasking(ctx, nil, &p)
+	return items, func(chunk int, tile geom.TileID) bool { return p.covered(chunk, tile) }
+}
+
+// appendMasking appends the needed masking fetches to items and fills plan
+// with the coverage predicate state.
+func (d *Dragonfly) appendMasking(ctx *player.Context, items []player.RequestItem, plan *maskPlan) []player.RequestItem {
 	if d.opts.Masking == MaskNone {
-		return nil, func(int, geom.TileID) bool { return false }
+		plan.mode = planNone
+		return items
 	}
+	d.tabs.resolve(ctx, d.opts)
 	if d.opts.Masking == MaskTiled && d.opts.MaskScheduled {
-		return d.planMaskingScheduled(ctx)
+		return d.appendMaskingScheduled(ctx, items, plan)
 	}
 	m := ctx.Manifest
 	firstChunk := m.ChunkOfFrame(ctx.PlayFrame)
@@ -136,8 +229,8 @@ func (d *Dragonfly) planMasking(ctx *player.Context) ([]player.RequestItem, func
 	}
 	lastChunk := m.ChunkOfFrame(lastFrame)
 
-	var items []player.RequestItem
 	if d.opts.Masking == MaskFull360 {
+		plan.mode = planAll
 		for c := firstChunk; c <= lastChunk; c++ {
 			if !ctx.Received.HasFullMasking(c) {
 				items = append(items, player.RequestItem{
@@ -145,12 +238,16 @@ func (d *Dragonfly) planMasking(ctx *player.Context) ([]player.RequestItem, func
 				})
 			}
 		}
-		return items, func(int, geom.TileID) bool { return true }
+		return items
 	}
 
 	// Tiled masking: fetch tiles within the per-chunk displacement bound
-	// around the predicted viewport at the chunk's start (§3.2, §4.5).
-	planned := make(map[int]map[geom.TileID]bool, lastChunk-firstChunk+1)
+	// around the predicted viewport at the chunk's start (§3.2, §4.5). The
+	// cap radius varies continuously per chunk (viewport + displacement), so
+	// discovery stays on the exact path rather than building a table plane
+	// per radius.
+	tiles := m.NumTiles()
+	plan.resetSet(firstChunk, lastChunk-firstChunk+1, tiles)
 	for c := firstChunk; c <= lastChunk; c++ {
 		disp := d.opts.TiledMaskFallbackDeg
 		if c < len(m.MaskDisplacement) && m.MaskDisplacement[c] > 0 {
@@ -162,16 +259,16 @@ func (d *Dragonfly) planMasking(ctx *player.Context) ([]player.RequestItem, func
 			at = ctx.Now
 		}
 		center := ctx.Predict(at)
-		set := make(map[geom.TileID]bool)
-		for _, id := range ctx.Grid.TilesInCap(center, radius) {
-			set[id] = true
+		d.tileBuf = ctx.Grid.AppendTilesInCap(d.tileBuf[:0], center, radius)
+		rel := c - firstChunk
+		for _, id := range d.tileBuf {
+			plan.set[rel*tiles+int(id)] = true
 			if !ctx.Received.HasMasking(c, id) {
 				items = append(items, player.RequestItem{
 					Stream: player.Masking, Chunk: c, Tile: id, Quality: video.Lowest,
 				})
 			}
 		}
-		planned[c] = set
 	}
-	return items, func(chunk int, tile geom.TileID) bool { return planned[chunk][tile] }
+	return items
 }

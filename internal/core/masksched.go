@@ -1,11 +1,8 @@
 package core
 
 import (
-	"time"
-
 	"dragonfly/internal/geom"
 	"dragonfly/internal/player"
-	"dragonfly/internal/quality"
 	"dragonfly/internal/video"
 )
 
@@ -18,28 +15,26 @@ import (
 // of freedom apply) over the masking look-ahead.
 
 // planMaskingScheduled builds the utility-ordered tiled masking plan.
+// Decide uses the allocation-free appendMaskingScheduled directly; this
+// wrapper keeps the predicate-returning shape for tests.
 func (d *Dragonfly) planMaskingScheduled(ctx *player.Context) ([]player.RequestItem, func(int, geom.TileID) bool) {
+	d.tabs.resolve(ctx, d.opts)
+	var p maskPlan
+	items := d.appendMaskingScheduled(ctx, nil, &p)
+	return items, func(chunk int, tile geom.TileID) bool { return p.covered(chunk, tile) }
+}
+
+// appendMaskingScheduled appends the utility-ordered tiled masking fetches
+// to items and records coverage in plan. It reuses the instance's masking
+// window and scheduler scratch (d.mw, d.msched).
+func (d *Dragonfly) appendMaskingScheduled(ctx *player.Context, items []player.RequestItem, plan *maskPlan) []player.RequestItem {
 	m := ctx.Manifest
-	fps := m.FPS
-	wFrames := int(d.opts.MaskingLookahead.Seconds()*float64(fps) + 0.5)
+	w := &d.mw
+	wFrames := int(d.opts.MaskingLookahead.Seconds()*float64(m.FPS) + 0.5)
 	if wFrames < 1 {
 		wFrames = 1
 	}
 	lastFrame := m.NumFrames() - 1
-
-	w := &window{
-		t0:        ctx.Now,
-		numFrames: wFrames,
-		deadlines: make([]time.Duration, wFrames),
-		frameDur:  ctx.FrameDuration,
-		rate:      ctx.PredictedMbps * 1e6 / 8,
-	}
-	if w.frameDur <= 0 {
-		w.frameDur = time.Second / time.Duration(fps)
-	}
-	if w.rate < 1 {
-		w.rate = 1
-	}
 
 	// Coarser frame sampling than the primary window: the masking stream's
 	// look-ahead is 3x longer and its tiles are small, so precision matters
@@ -48,48 +43,31 @@ func (d *Dragonfly) planMaskingScheduled(ctx *player.Context) ([]player.RequestI
 	if step < 3 {
 		step = 3
 	}
-
-	// Per-frame predictions, and per-chunk displacement-bounded cap radii.
-	orients := make([]geom.Orientation, wFrames)
-	queries := make([][]geom.CapQuery, wFrames)
-	var held geom.Orientation
-	var heldQ []geom.CapQuery
-	for wf := 0; wf < wFrames; wf++ {
-		frame := ctx.PlayFrame + wf
-		if frame > lastFrame {
-			frame = lastFrame
-		}
-		w.deadlines[wf] = ctx.FrameDeadline(ctx.PlayFrame + wf)
-		if wf%step == 0 {
-			held = ctx.Predict(w.deadlines[wf])
-			heldQ = d.opts.RoIs.Queries(held)
-		}
-		orients[wf] = held
-		queries[wf] = heldQ
-	}
-
-	capRadius := func(chunk int) float64 {
-		disp := d.opts.TiledMaskFallbackDeg
-		if chunk < len(m.MaskDisplacement) && m.MaskDisplacement[chunk] > 0 {
-			disp = m.MaskDisplacement[chunk]
-		}
-		return ctx.Viewport.RadiusDeg + disp
-	}
+	nSamples := w.prep(ctx, d.opts, &d.tabs, wFrames, step)
 
 	// Candidate masking tiles: per chunk in the window, tiles within the
 	// displacement bound of the chunk-start prediction and not yet held.
-	type key struct {
-		chunk int
-		tile  geom.TileID
-	}
-	planned := map[key]bool{}
-	seen := map[key]*candidate{}
+	// The bound varies continuously per chunk (viewport radius plus that
+	// chunk's displacement), so discovery stays on the exact path.
+	tiles := m.NumTiles()
 	firstChunk := m.ChunkOfFrame(ctx.PlayFrame)
 	endFrame := ctx.PlayFrame + wFrames - 1
 	if endFrame > lastFrame {
 		endFrame = lastFrame
 	}
-	for chunk := firstChunk; chunk <= m.ChunkOfFrame(endFrame); chunk++ {
+	lastChunk := m.ChunkOfFrame(endFrame)
+	plan.resetSet(firstChunk, lastChunk-firstChunk+1, tiles)
+	w.candIdx = growI32(w.candIdx, (lastChunk-firstChunk+1)*tiles)
+	for i := range w.candIdx {
+		w.candIdx[i] = -1
+	}
+	w.slab = w.slab[:0]
+	for chunk := firstChunk; chunk <= lastChunk; chunk++ {
+		disp := d.opts.TiledMaskFallbackDeg
+		if chunk < len(m.MaskDisplacement) && m.MaskDisplacement[chunk] > 0 {
+			disp = m.MaskDisplacement[chunk]
+		}
+		radius := ctx.Viewport.RadiusDeg + disp
 		startWF := m.FirstFrame(chunk) - ctx.PlayFrame
 		if startWF < 0 {
 			startWF = 0
@@ -97,66 +75,45 @@ func (d *Dragonfly) planMaskingScheduled(ctx *player.Context) ([]player.RequestI
 		if startWF >= wFrames {
 			break
 		}
-		for _, id := range ctx.Grid.TilesInCap(orients[startWF], capRadius(chunk)) {
-			k := key{chunk, id}
-			planned[k] = true
-			if seen[k] != nil || ctx.Received.HasMasking(chunk, id) {
+		rel := chunk - firstChunk
+		w.tileBuf = d.tabs.grid.AppendTilesInCap(w.tileBuf[:0], w.sampleOri[startWF/step], radius)
+		for _, id := range w.tileBuf {
+			k := rel*tiles + int(id)
+			plan.set[k] = true
+			if w.candIdx[k] != -1 || ctx.Received.HasMasking(chunk, id) {
 				continue
 			}
-			c := &candidate{chunk: chunk, tile: id, assigned: -1}
-			c.qscore[video.Lowest] = quality.TileScore(d.opts.Metric, m, chunk, id, video.Lowest)
+			w.candIdx[k] = int32(len(w.slab))
+			w.slab = append(w.slab, candidate{chunk: chunk, tile: id, assigned: -1})
+			c := &w.slab[len(w.slab)-1]
+			c.qscore[video.Lowest] = d.tabs.scores.Score(chunk, id, video.Lowest)
 			c.size[video.Lowest] = m.TileSize(chunk, id, video.Lowest)
-			seen[k] = c
 		}
 	}
 
 	// Location scores over the masking window.
-	perFrame := make([]float64, wFrames)
-	for _, c := range seen {
-		var lHeld float64
-		fresh := false
-		for wf := 0; wf < wFrames; wf++ {
-			frame := ctx.PlayFrame + wf
-			if frame > lastFrame || m.ChunkOfFrame(frame) != c.chunk {
-				perFrame[wf] = 0
-				fresh = false
-				continue
-			}
-			if wf%step == 0 || !fresh {
-				lHeld = d.opts.RoIs.LocationScoreQ(ctx.Grid, c.tile, queries[wf])
-				fresh = true
-			}
-			perFrame[wf] = lHeld
-		}
-		c.cumL = make([]float64, wFrames+1)
-		for wf := wFrames - 1; wf >= 0; wf-- {
-			c.cumL[wf] = c.cumL[wf+1] + perFrame[wf]
-		}
-		c.full = c.cumL[0]
-	}
-	cands := make([]*candidate, 0, len(seen))
-	for _, c := range seen {
-		if c.full > 0 {
-			cands = append(cands, c)
+	w.scoreSlab(d.opts, &d.tabs, wFrames, nSamples, step)
+	w.cands = w.cands[:0]
+	for i := range w.slab {
+		if w.slab[i].full > 0 {
+			w.cands = append(w.cands, &w.slab[i])
 		}
 	}
-	sortCandidates(cands)
-	if d.opts.MaxCandidates > 0 && len(cands) > d.opts.MaxCandidates {
-		cands = cands[:d.opts.MaxCandidates]
+	w.sortCands()
+	if d.opts.MaxCandidates > 0 && len(w.cands) > d.opts.MaxCandidates {
+		w.cands = w.cands[:d.opts.MaxCandidates]
 	}
-	w.cands = cands
 
 	// One quality level: the scheduler's rounds reduce to ordering and
 	// skipping, exactly the degrees of freedom §3.2 asks for.
-	sched := newScheduler(w, video.Lowest, 0)
-	sched.maxQ = int(video.Lowest)
-	list := sched.run()
+	d.msched.reset(w, video.Lowest, 0)
+	d.msched.maxQ = int(video.Lowest)
+	list := d.msched.run()
 
-	items := make([]player.RequestItem, 0, len(list))
 	for _, e := range list {
 		items = append(items, player.RequestItem{
 			Stream: player.Masking, Chunk: e.c.chunk, Tile: e.c.tile, Quality: video.Lowest,
 		})
 	}
-	return items, func(chunk int, tile geom.TileID) bool { return planned[key{chunk, tile}] }
+	return items
 }

@@ -75,6 +75,13 @@ type Options struct {
 	// (1 = every frame). Larger steps trade fidelity for speed.
 	FrameStep int
 
+	// ExactGeometry disables the precomputed overlap tables and re-samples
+	// the sphere on every overlap query (the pre-table behavior). The
+	// tables quantize the view orientation to a fine grid (see
+	// geom.TableParams); set this for bit-exact location scores at a
+	// significant per-decision cost.
+	ExactGeometry bool
+
 	// MaxCandidates bounds the per-decision candidate set for safety.
 	MaxCandidates int
 

@@ -18,6 +18,11 @@ type fetchEntry struct {
 // promoted by utility gain, inserted at the total-utility-maximizing
 // position, and later entries are demoted or dropped when insertions push
 // them past their deadlines.
+//
+// Like window, a scheduler is a reusable scratch arena: reset() rebinds it
+// to the current window and every working buffer (candidate order, the
+// insertion-scan prefix/suffix sums, the double-buffered fetch list) is
+// retained across decisions, so steady-state runs allocate nothing.
 type scheduler struct {
 	w       *window
 	minQ    int
@@ -30,16 +35,37 @@ type scheduler struct {
 	floorTotal float64
 
 	list []fetchEntry
+
+	// Reusable run scratch.
+	spare       []fetchEntry // double buffer: insertAt builds here, then swaps
+	base        []fetchEntry // current list minus the candidate being placed
+	order       []*candidate
+	arrivals    []time.Duration
+	prefixGain  []float64
+	suffixShift []float64
+	sorter      gainSorter
 }
 
 // newScheduler prepares a run over the window. baseOffset accounts for
 // masking-stream bytes queued ahead of the primary fetches.
 func newScheduler(w *window, minQ video.Quality, baseOffset time.Duration) *scheduler {
-	s := &scheduler{w: w, minQ: int(minQ), maxQ: video.NumQualities - 1, baseOff: baseOffset}
+	s := &scheduler{}
+	s.reset(w, minQ, baseOffset)
+	return s
+}
+
+// reset rebinds the scheduler to a window for a fresh run, keeping the
+// scratch buffers of previous runs.
+func (s *scheduler) reset(w *window, minQ video.Quality, baseOffset time.Duration) {
+	s.w = w
+	s.minQ = int(minQ)
+	s.maxQ = video.NumQualities - 1
+	s.baseOff = baseOffset
+	s.floorTotal = 0
+	s.list = s.list[:0]
 	for _, c := range w.cands {
 		s.floorTotal += c.utilityAt(w, -1, 0)
 	}
-	return s
 }
 
 func (s *scheduler) transferTime(bytes int64) time.Duration {
@@ -53,34 +79,48 @@ func (s *scheduler) totalUtility() float64 {
 }
 
 // run executes the quality rounds and returns the final ordered fetch list.
+// The returned slice aliases the scheduler's reusable buffers and is valid
+// until the next reset/run.
 func (s *scheduler) run() []fetchEntry {
-	order := make([]*candidate, len(s.w.cands))
-	copy(order, s.w.cands)
+	s.order = append(s.order[:0], s.w.cands...)
 	best := s.totalUtility()
 
 	for q := s.minQ; q <= s.maxQ; q++ {
 		// Sort candidates by the optimistic utility gain of promoting them
-		// to quality q (gain if the tile arrived immediately).
-		sort.SliceStable(order, func(a, b int) bool {
-			return s.optimisticGain(order[a], q) > s.optimisticGain(order[b], q)
-		})
-		for _, c := range order {
+		// to quality q (gain if the tile arrived immediately). The key is
+		// precomputed — assignments only change after the sort.
+		for _, c := range s.order {
+			c.sortKey = s.optimisticGain(c, q)
+		}
+		s.sorter.c = s.order
+		sort.Stable(&s.sorter)
+		s.sorter.c = nil
+		for _, c := range s.order {
 			if c.assigned >= q {
 				continue
 			}
 			if s.optimisticGain(c, q) <= 0 {
 				continue
 			}
-			newList, _, ok := s.bestInsertion(c, q, best)
+			pos, ok := s.bestInsertion(c, q, best)
 			if !ok {
 				continue
 			}
-			s.commit(newList)
+			s.insertAt(c, q, pos)
 			best = s.demoteAndDrop()
 		}
 	}
 	return s.list
 }
+
+// gainSorter sorts the round's candidate order by descending precomputed
+// gain; sort.Stable keeps ties in prior order, matching the previous
+// sort.SliceStable semantics without its closure allocations.
+type gainSorter struct{ c []*candidate }
+
+func (s *gainSorter) Len() int           { return len(s.c) }
+func (s *gainSorter) Swap(i, j int)      { s.c[i], s.c[j] = s.c[j], s.c[i] }
+func (s *gainSorter) Less(i, j int) bool { return s.c[i].sortKey > s.c[j].sortKey }
 
 // optimisticGain is the utility gain of moving c to quality q if it could
 // arrive instantly — the sort key of Algorithm 1's round ("sort i by
@@ -94,37 +134,45 @@ func (s *scheduler) optimisticGain(c *candidate, q int) float64 {
 }
 
 // bestInsertion tries c@q at every list position (removing any existing
-// entry for c first) and returns the best list if it strictly improves on
-// curBest. Inserting c at position p leaves entries before p untouched and
-// shifts every later entry's arrival by exactly c's transfer time, so one
-// prefix-sum and one shifted-suffix-sum evaluate all positions in O(C) —
-// the amortization behind the paper's O(C²Q) bound.
-func (s *scheduler) bestInsertion(c *candidate, q int, curBest float64) ([]fetchEntry, float64, bool) {
+// entry for c first) and returns the best position if it strictly improves
+// on curBest. Inserting c at position p leaves entries before p untouched
+// and shifts every later entry's arrival by exactly c's transfer time, so
+// one prefix-sum and one shifted-suffix-sum evaluate all positions in O(C)
+// — the amortization behind the paper's O(C²Q) bound. On success, s.base
+// holds the list without c, ready for insertAt.
+func (s *scheduler) bestInsertion(c *candidate, q int, curBest float64) (int, bool) {
 	// Working copy without c.
-	base := make([]fetchEntry, 0, len(s.list)+1)
+	s.base = s.base[:0]
 	for _, e := range s.list {
 		if e.c != c {
-			base = append(base, e)
+			s.base = append(s.base, e)
 		}
 	}
-	n := len(base)
+	n := len(s.base)
 	dt := s.transferTime(c.size[q])
 
-	// arrival[j]: when base entry j completes with no insertion; gainAt[j]
-	// its gain over its skip floor then; gainShifted[j] the same if pushed
-	// back by dt.
-	arrivals := make([]time.Duration, n)
-	prefixGain := make([]float64, n+1) // Σ_{j<p} gain of unshifted entries
-	suffixShift := make([]float64, n+1)
+	// arrivals[j]: when base entry j completes with no insertion;
+	// prefixGain[p]: summed gain of unshifted entries before p;
+	// suffixShift[p]: summed gain of entries from p on, pushed back by dt.
+	if cap(s.prefixGain) < n+1 {
+		s.arrivals = make([]time.Duration, n+1)
+		s.prefixGain = make([]float64, n+1)
+		s.suffixShift = make([]float64, n+1)
+	}
+	arrivals := s.arrivals[:n]
+	prefixGain := s.prefixGain[:n+1]
+	suffixShift := s.suffixShift[:n+1]
+	prefixGain[0] = 0
+	suffixShift[n] = 0
 	at := s.w.t0 + s.baseOff
-	for j, e := range base {
+	for j, e := range s.base {
 		at += s.transferTime(e.c.size[e.q])
 		arrivals[j] = at
 		floor := e.c.utilityAt(s.w, -1, 0)
 		prefixGain[j+1] = prefixGain[j] + e.c.utilityAt(s.w, e.q, at) - floor
 	}
 	for j := n - 1; j >= 0; j-- {
-		e := base[j]
+		e := s.base[j]
 		floor := e.c.utilityAt(s.w, -1, 0)
 		suffixShift[j] = suffixShift[j+1] + e.c.utilityAt(s.w, e.q, arrivals[j]+dt) - floor
 	}
@@ -145,14 +193,7 @@ func (s *scheduler) bestInsertion(c *candidate, q int, curBest float64) ([]fetch
 			bestPos = pos
 		}
 	}
-	if bestPos < 0 {
-		return nil, 0, false
-	}
-	out := make([]fetchEntry, n+1)
-	copy(out, base[:bestPos])
-	out[bestPos] = fetchEntry{c: c, q: q}
-	copy(out[bestPos+1:], base[bestPos:])
-	return out, bestTotal, true
+	return bestPos, bestPos >= 0
 }
 
 // evalList computes the total utility of a tentative list: the skip-floor
@@ -168,13 +209,34 @@ func (s *scheduler) evalList(list []fetchEntry) float64 {
 	return total
 }
 
-// commit installs a new list and refreshes assignment bookkeeping.
+// commit installs a list (copied into the scheduler's own buffer) and
+// refreshes assignment bookkeeping.
 func (s *scheduler) commit(list []fetchEntry) {
+	s.list = append(s.list[:0], list...)
 	for _, c := range s.w.cands {
 		c.inList = false
 		c.assigned = -1
 	}
-	s.list = list
+	for _, e := range s.list {
+		e.c.inList = true
+		e.c.assigned = e.q
+	}
+}
+
+// insertAt installs the list produced by a successful bestInsertion —
+// s.base with c@q inserted at pos — into the spare buffer, swaps it in,
+// and refreshes assignment bookkeeping.
+func (s *scheduler) insertAt(c *candidate, q, pos int) {
+	out := s.spare[:0]
+	out = append(out, s.base[:pos]...)
+	out = append(out, fetchEntry{c: c, q: q})
+	out = append(out, s.base[pos:]...)
+	s.spare = s.list[:0]
+	s.list = out
+	for _, cc := range s.w.cands {
+		cc.inList = false
+		cc.assigned = -1
+	}
 	for _, e := range s.list {
 		e.c.inList = true
 		e.c.assigned = e.q

@@ -182,10 +182,13 @@ func TestBestInsertionMatchesBruteForce(t *testing.T) {
 
 	c := cands[2]
 	const q = 3
-	fastList, fastTotal, ok := s.bestInsertion(c, q, cur)
+	pos, ok := s.bestInsertion(c, q, cur)
 	if !ok {
 		t.Fatal("insertion rejected")
 	}
+	s.insertAt(c, q, pos)
+	fastList := s.list
+	fastTotal := s.totalUtility()
 
 	// Brute force: evaluate every position with evalList.
 	base := []fetchEntry{{c: cands[0], q: 2}, {c: cands[1], q: 1}}

@@ -13,6 +13,12 @@ import (
 // window holds everything the scheduler needs about the current look-ahead
 // period: per-frame deadlines and predicted orientations, and the candidate
 // tiles with their precomputed cumulative location scores (§3.1).
+//
+// A window doubles as a reusable scratch arena: Decide runs every 100 ms
+// for the whole session, so all per-build slices (candidate slab, sampled
+// orientations, score buffers) are retained and reused across builds. After
+// the first few decisions the build allocates nothing
+// (TestDecideAllocationFree pins this).
 type window struct {
 	t0        time.Duration
 	numFrames int
@@ -20,7 +26,19 @@ type window struct {
 	frameDur  time.Duration
 	rate      float64 // predicted bytes/second
 
-	cands []*candidate
+	cands []*candidate // into slab; valid until the next build
+
+	// Reusable build scratch.
+	slab       []candidate        // backing store of cands
+	candIdx    []int32            // [(chunk-firstChunk)*tiles + tile] -> slab index, -1 empty, -2 rejected
+	sampleOri  []geom.Orientation // predicted orientation of sample s
+	queries    []geom.CapQuery    // exact path: [s*nRoI + r]
+	lookups    []geom.PlaneLookup // table path: [s*nRoI + r]
+	frameChunk []int32            // chunk of window frame wf, -1 past the video
+	tileBuf    []geom.TileID      // per-sample cap-tile discovery buffer
+	sampleSc   []float64          // per-sample location score of one candidate
+	cumLBuf    []float64          // backing store of every candidate's cumL
+	sorter     fullSorter
 }
 
 // candidate is one (chunk, tile) the scheduler may fetch in the primary
@@ -48,159 +66,302 @@ type candidate struct {
 
 	// assigned is the scheduler's current quality for the tile; -1 = skip.
 	assigned int
-	// pos is a scratch field used while rebuilding fetch lists.
+	// inList marks membership in the scheduler's current fetch list.
 	inList bool
+	// sortKey is the scheduler's precomputed round sort key.
+	sortKey float64
 }
 
-// buildWindow precomputes deadlines, predictions and candidate scores.
+// growF64 returns s resized to n, reusing capacity. Contents are undefined.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// buildWindow precomputes deadlines, predictions and candidate scores into
+// a fresh window. Standalone entry point (tests, one-shot callers); Decide
+// reuses a per-session window via (*window).build. A nil maskingPlanned
+// with masking enabled means "planned everywhere".
 func buildWindow(ctx *player.Context, o Options, maskingPlanned func(chunk int, tile geom.TileID) bool) *window {
+	var tabs sessionTables
+	tabs.resolve(ctx, o)
+	var plan maskPlan
+	switch {
+	case o.Masking == MaskNone:
+		plan.mode = planNone
+	case maskingPlanned == nil:
+		plan.mode = planAll
+	default:
+		plan.mode = planFunc
+		plan.fn = maskingPlanned
+	}
+	w := &window{}
+	w.build(ctx, o, &plan, &tabs)
+	return w
+}
+
+// prep sizes the window for a look-ahead of wFrames frames sampled every
+// `step` frames: per-frame deadlines and chunk membership, and the
+// predicted orientation per sampled frame (held for `step` frames) with
+// the RoI overlap machinery hoisted per sample — table lookups when the
+// session has overlap tables, precomputed cap queries otherwise. Returns
+// the number of samples.
+func (w *window) prep(ctx *player.Context, o Options, tabs *sessionTables, wFrames, step int) int {
 	m := ctx.Manifest
-	fps := m.FPS
-	wFrames := int(o.PrimaryLookahead.Seconds()*float64(fps) + 0.5)
-	if wFrames < 1 {
-		wFrames = 1
-	}
 	lastFrame := m.NumFrames() - 1
-	w := &window{
-		t0:        ctx.Now,
-		numFrames: wFrames,
-		deadlines: make([]time.Duration, wFrames),
-		frameDur:  ctx.FrameDuration,
-		rate:      ctx.PredictedMbps * 1e6 / 8,
-	}
+	w.t0 = ctx.Now
+	w.numFrames = wFrames
+	w.frameDur = ctx.FrameDuration
+	w.rate = ctx.PredictedMbps * 1e6 / 8
 	if w.frameDur <= 0 {
-		w.frameDur = time.Second / time.Duration(fps)
+		w.frameDur = time.Second / time.Duration(m.FPS)
 	}
 	if w.rate < 1 {
 		w.rate = 1
 	}
 
+	if cap(w.deadlines) < wFrames {
+		w.deadlines = make([]time.Duration, wFrames)
+	} else {
+		w.deadlines = w.deadlines[:wFrames]
+	}
+	w.frameChunk = growI32(w.frameChunk, wFrames)
+	for wf := 0; wf < wFrames; wf++ {
+		frame := ctx.PlayFrame + wf
+		w.deadlines[wf] = ctx.FrameDeadline(frame)
+		if frame > lastFrame {
+			w.frameChunk[wf] = -1
+		} else {
+			w.frameChunk[wf] = int32(m.ChunkOfFrame(frame))
+		}
+	}
+
+	nRoI := len(o.RoIs.RadiiDeg)
+	nSamples := (wFrames + step - 1) / step
+	if cap(w.sampleOri) < nSamples {
+		w.sampleOri = make([]geom.Orientation, nSamples)
+	} else {
+		w.sampleOri = w.sampleOri[:nSamples]
+	}
+	if tabs.planes != nil {
+		if cap(w.lookups) < nSamples*nRoI {
+			w.lookups = make([]geom.PlaneLookup, nSamples*nRoI)
+		} else {
+			w.lookups = w.lookups[:nSamples*nRoI]
+		}
+	} else {
+		if cap(w.queries) < nSamples*nRoI {
+			w.queries = make([]geom.CapQuery, nSamples*nRoI)
+		} else {
+			w.queries = w.queries[:nSamples*nRoI]
+		}
+	}
+	for s := 0; s < nSamples; s++ {
+		ori := ctx.Predict(w.deadlines[s*step])
+		w.sampleOri[s] = ori
+		if tabs.planes != nil {
+			for r, pl := range tabs.planes {
+				w.lookups[s*nRoI+r] = pl.Lookup(ori)
+			}
+		} else {
+			for r, rad := range o.RoIs.RadiiDeg {
+				w.queries[s*nRoI+r] = geom.NewCapQuery(ori, rad)
+			}
+		}
+	}
+	return nSamples
+}
+
+// scoreSlab computes every slab candidate's per-frame location scores and
+// suffix-sums them into cumL (backed by the shared cumLBuf): l_if at each
+// sampled orientation, expanded per frame (samples hold for `step` frames,
+// zero outside the tile's chunk).
+func (w *window) scoreSlab(o Options, tabs *sessionTables, wFrames, nSamples, step int) {
+	nRoI := len(o.RoIs.RadiiDeg)
+	w.sampleSc = growF64(w.sampleSc, nSamples)
+	w.cumLBuf = growF64(w.cumLBuf, len(w.slab)*(wFrames+1))
+	for i := range w.slab {
+		c := &w.slab[i]
+		for s := 0; s < nSamples; s++ {
+			if tabs.planes != nil {
+				v := 0.0
+				for r := 0; r < nRoI; r++ {
+					v += w.lookups[s*nRoI+r].Overlap(c.tile)
+				}
+				w.sampleSc[s] = v
+			} else {
+				w.sampleSc[s] = o.RoIs.LocationScoreQ(tabs.grid, c.tile, w.queries[s*nRoI:(s+1)*nRoI])
+			}
+		}
+		cumL := w.cumLBuf[i*(wFrames+1) : (i+1)*(wFrames+1)]
+		cumL[wFrames] = 0
+		for wf := wFrames - 1; wf >= 0; wf-- {
+			pf := 0.0
+			if w.frameChunk[wf] == int32(c.chunk) {
+				pf = w.sampleSc[wf/step]
+			}
+			cumL[wf] = cumL[wf+1] + pf
+		}
+		c.cumL = cumL
+		c.full = cumL[0]
+	}
+}
+
+// build fills the window for the current decision, reusing every scratch
+// buffer from the previous build.
+func (w *window) build(ctx *player.Context, o Options, plan *maskPlan, tabs *sessionTables) {
+	m := ctx.Manifest
+	wFrames := int(o.PrimaryLookahead.Seconds()*float64(m.FPS) + 0.5)
+	if wFrames < 1 {
+		wFrames = 1
+	}
+	lastFrame := m.NumFrames() - 1
 	step := o.FrameStep
 	if step < 1 {
 		step = 1
 	}
+	nRoI := len(o.RoIs.RadiiDeg)
+	nSamples := w.prep(ctx, o, tabs, wFrames, step)
+	useTable := tabs.planes != nil
 
-	// Per-frame predicted orientation (subsampled, held between steps),
-	// with the RoI cap tests precomputed once per sampled orientation.
-	orients := make([]geom.Orientation, wFrames)
-	queries := make([][]geom.CapQuery, wFrames)
-	var held geom.Orientation
-	var heldQ []geom.CapQuery
-	for wf := 0; wf < wFrames; wf++ {
-		frame := ctx.PlayFrame + wf
-		if frame > lastFrame {
-			frame = lastFrame
-		}
-		w.deadlines[wf] = ctx.FrameDeadline(ctx.PlayFrame + wf)
-		if wf%step == 0 {
-			held = ctx.Predict(w.deadlines[wf])
-			heldQ = o.RoIs.Queries(held)
-		}
-		orients[wf] = held
-		queries[wf] = heldQ
+	// Candidate set: tiles within the outermost RoI of any sampled frame,
+	// deduplicated per (chunk, tile) through the flat candIdx map.
+	tiles := m.NumTiles()
+	firstChunk := m.ChunkOfFrame(ctx.PlayFrame)
+	endFrame := ctx.PlayFrame + wFrames - 1
+	if endFrame > lastFrame {
+		endFrame = lastFrame
 	}
-
-	// Candidate set: tiles within the outermost RoI of any predicted frame.
-	type key struct {
-		chunk int
-		tile  geom.TileID
+	span := m.ChunkOfFrame(endFrame) - firstChunk + 1
+	w.candIdx = growI32(w.candIdx, span*tiles)
+	for i := range w.candIdx {
+		w.candIdx[i] = -1
 	}
-	seen := map[key]*candidate{}
+	w.slab = w.slab[:0]
 	outer := o.RoIs.MaxRadius()
-	for wf := 0; wf < wFrames; wf += step {
-		frame := ctx.PlayFrame + wf
+	for s := 0; s < nSamples; s++ {
+		frame := ctx.PlayFrame + s*step
 		if frame > lastFrame {
 			break
 		}
 		chunk := m.ChunkOfFrame(frame)
-		for _, id := range ctx.Grid.TilesInCap(orients[wf], outer) {
-			k := key{chunk, id}
-			if seen[k] != nil {
+		rel := chunk - firstChunk
+		if useTable {
+			w.tileBuf = w.lookups[s*nRoI+nRoI-1].AppendTiles(w.tileBuf[:0])
+		} else {
+			w.tileBuf = tabs.grid.AppendTilesInCap(w.tileBuf[:0], w.sampleOri[s], outer)
+		}
+		for _, id := range w.tileBuf {
+			k := rel*tiles + int(id)
+			if w.candIdx[k] != -1 {
 				continue
 			}
 			// Tiles already sent on the primary stream cannot be upgraded
 			// (the server never re-sends primary tiles, §3.3), so they are
 			// not candidates.
 			if _, ok := ctx.Received.BestPrimary(chunk, id); ok {
+				w.candIdx[k] = -2
 				continue
 			}
-			c := &candidate{chunk: chunk, tile: id, assigned: -1}
+			w.candIdx[k] = int32(len(w.slab))
+			w.slab = append(w.slab, candidate{chunk: chunk, tile: id, assigned: -1})
+			c := &w.slab[len(w.slab)-1]
+			copy(c.qscore[:], tabs.scores.Row(chunk, id))
 			for q := video.Quality(0); q < video.NumQualities; q++ {
-				c.qscore[q] = quality.TileScore(o.Metric, m, chunk, id, q)
 				c.size[q] = m.TileSize(chunk, id, q)
 			}
 			// The skip floor: a masking version will cover the tile if one
 			// has arrived or is planned for this window.
-			if ctx.Received.HasMasking(chunk, id) ||
-				(o.Masking != MaskNone && (maskingPlanned == nil || maskingPlanned(chunk, id))) {
+			if ctx.Received.HasMasking(chunk, id) || plan.covered(chunk, id) {
 				c.maskScore = c.qscore[video.Lowest]
 			}
-			seen[k] = c
 		}
 	}
 
-	// Location scores: l_if per window frame, then suffix sums per chunk.
-	// Subsampled frames hold their predicted orientation for `step` frames,
-	// so the suffix sum still visits every frame.
-	perFrame := make([]float64, wFrames)
-	for _, c := range seen {
-		var lHeld float64
-		fresh := false
-		for wf := 0; wf < wFrames; wf++ {
-			frame := ctx.PlayFrame + wf
-			if frame > lastFrame || m.ChunkOfFrame(frame) != c.chunk {
-				perFrame[wf] = 0
-				fresh = false
-				continue
-			}
-			if wf%step == 0 || !fresh {
-				lHeld = o.RoIs.LocationScoreQ(ctx.Grid, c.tile, queries[wf])
-				fresh = true
-			}
-			perFrame[wf] = lHeld
-		}
-		c.cumL = make([]float64, wFrames+1)
-		for wf := wFrames - 1; wf >= 0; wf-- {
-			c.cumL[wf] = c.cumL[wf+1] + perFrame[wf]
-		}
-		c.full = c.cumL[0]
-	}
+	w.scoreSlab(o, tabs, wFrames, nSamples, step)
 
 	// Keep only tiles that matter, bounded for tractability: tiles whose
 	// cumulative score is a sliver of the best candidate's cannot earn
 	// meaningful utility but would still cost a full O(C) round each.
 	maxFull := 0.0
-	for _, c := range seen {
-		if c.full > maxFull {
-			maxFull = c.full
+	for i := range w.slab {
+		if w.slab[i].full > maxFull {
+			maxFull = w.slab[i].full
 		}
 	}
-	cands := make([]*candidate, 0, len(seen))
-	for _, c := range seen {
-		if c.full > 0.03*maxFull {
-			cands = append(cands, c)
+	w.cands = w.cands[:0]
+	for i := range w.slab {
+		if w.slab[i].full > 0.03*maxFull {
+			w.cands = append(w.cands, &w.slab[i])
 		}
 	}
-	sortCandidates(cands)
-	if o.MaxCandidates > 0 && len(cands) > o.MaxCandidates {
-		cands = cands[:o.MaxCandidates]
+	w.sortCands()
+	if o.MaxCandidates > 0 && len(w.cands) > o.MaxCandidates {
+		w.cands = w.cands[:o.MaxCandidates]
 	}
-	w.cands = cands
-	return w
 }
 
-// sortCandidates orders candidates by cumulative score (descending), with
+// sortCands orders candidates by cumulative score (descending), with
 // (chunk, tile) tiebreaks for determinism.
-func sortCandidates(cands []*candidate) {
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].full != cands[b].full {
-			return cands[a].full > cands[b].full
-		}
-		if cands[a].chunk != cands[b].chunk {
-			return cands[a].chunk < cands[b].chunk
-		}
-		return cands[a].tile < cands[b].tile
-	})
+func (w *window) sortCands() {
+	w.sorter.c = w.cands
+	sort.Sort(&w.sorter)
+	w.sorter.c = nil
+}
+
+// fullSorter sorts candidates for sortCands. A named type (passed by
+// pointer from a heap-resident window) keeps sort.Sort allocation-free,
+// unlike sort.Slice closures.
+type fullSorter struct{ c []*candidate }
+
+func (s *fullSorter) Len() int      { return len(s.c) }
+func (s *fullSorter) Swap(i, j int) { s.c[i], s.c[j] = s.c[j], s.c[i] }
+func (s *fullSorter) Less(i, j int) bool {
+	a, b := s.c[i], s.c[j]
+	if a.full != b.full {
+		return a.full > b.full
+	}
+	if a.chunk != b.chunk {
+		return a.chunk < b.chunk
+	}
+	return a.tile < b.tile
+}
+
+// sessionTables holds the per-session resolution of the process-wide
+// read-only tables: the shared overlap planes for the RoI radii (nil when
+// Options.ExactGeometry re-samples the sphere instead) and the memoized
+// quality scores. Resolution is guarded by pointer comparison so Decide
+// pays it only when the manifest changes.
+type sessionTables struct {
+	grid   *geom.Grid
+	man    *video.Manifest
+	metric quality.Metric
+	planes []*geom.CapPlane // one per RoI radius; nil => exact path
+	scores *quality.ScoreTable
+}
+
+func (t *sessionTables) resolve(ctx *player.Context, o Options) {
+	if t.grid == ctx.Grid && t.man == ctx.Manifest && t.metric == o.Metric && t.scores != nil {
+		return
+	}
+	t.grid = ctx.Grid
+	t.man = ctx.Manifest
+	t.metric = o.Metric
+	t.scores = quality.Scores(ctx.Manifest, o.Metric)
+	if o.ExactGeometry {
+		t.planes = nil
+	} else {
+		t.planes = o.RoIs.Planes(geom.SharedTable(ctx.Grid, geom.TableParams{}))
+	}
 }
 
 // arrivalFrame maps an arrival instant to the first window frame that can

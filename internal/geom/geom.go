@@ -252,13 +252,23 @@ func (g *Grid) OverlapCapQ(id TileID, q CapQuery) float64 {
 // TilesInCap returns the IDs of all tiles with non-zero overlap with the
 // spherical cap centered at center with the given angular radius.
 func (g *Grid) TilesInCap(center Orientation, radiusDeg float64) []TileID {
-	out := make([]TileID, 0, 32)
+	return g.AppendTilesInCap(make([]TileID, 0, 32), center, radiusDeg)
+}
+
+// AppendTilesInCap is TilesInCap appending into a caller-provided slice, so
+// per-decision and per-frame loops can reuse one buffer instead of
+// allocating. The cap test is hoisted once for the whole grid walk.
+func (g *Grid) AppendTilesInCap(dst []TileID, center Orientation, radiusDeg float64) []TileID {
+	if radiusDeg <= 0 {
+		return dst
+	}
+	q := NewCapQuery(center, radiusDeg)
 	for id := 0; id < g.NumTiles(); id++ {
-		if g.OverlapCap(TileID(id), center, radiusDeg) > 0 {
-			out = append(out, TileID(id))
+		if g.OverlapCapQ(TileID(id), q) > 0 {
+			dst = append(dst, TileID(id))
 		}
 	}
-	return out
+	return dst
 }
 
 // Viewport describes the user-visible region as a spherical cap. Tile-based
@@ -313,6 +323,12 @@ func (v Viewport) Coverage(g *Grid, center Orientation, have func(TileID) bool) 
 // center, the tile's solid-angle weight inside the cap. The weights are the
 // per-tile contributions used to aggregate viewport quality area-true.
 func (g *Grid) CapWeights(center Orientation, radiusDeg float64) (ids []TileID, weights []float64) {
+	return g.AppendCapWeights(nil, nil, center, radiusDeg)
+}
+
+// AppendCapWeights is CapWeights appending into caller-provided slices, so
+// the per-frame render accounting can reuse its buffers across frames.
+func (g *Grid) AppendCapWeights(ids []TileID, weights []float64, center Orientation, radiusDeg float64) ([]TileID, []float64) {
 	cv := center.Unit()
 	cosR := math.Cos(radiusDeg * math.Pi / 180)
 	for id := 0; id < g.NumTiles(); id++ {

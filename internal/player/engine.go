@@ -131,6 +131,12 @@ type engine struct {
 	vpPred *predict.Viewport
 	bwPred *predict.Bandwidth
 
+	// Reusable per-decision scratch: decide() refills ctx in place instead
+	// of allocating a Context (plus two method-value closures) per epoch,
+	// and the frame loop reuses vpTiles for viewport-tile discovery.
+	ctx     Context
+	vpTiles []geom.TileID
+
 	met *Metrics
 }
 
@@ -169,6 +175,17 @@ func newEngine(cfg Config) *engine {
 		e.vpPred = predict.NewViewportWithError(cfg.PredictorHistory, cfg.PredictErrorDeg, cfg.PredictErrorSeed)
 	} else {
 		e.vpPred = predict.NewViewport(cfg.PredictorHistory)
+	}
+	// The invariant Context fields — and the two method-value closures,
+	// which would otherwise allocate on every decision — are bound once.
+	e.ctx = Context{
+		Manifest:      m,
+		Grid:          e.grid,
+		Viewport:      cfg.Viewport,
+		Received:      e.received,
+		Predict:       e.vpPred.Predict,
+		FrameDuration: e.frameDur,
+		FrameDeadline: e.frameDeadline,
 	}
 	return e
 }
@@ -294,20 +311,11 @@ func (e *engine) decide() {
 	if mbps <= 0 {
 		mbps = e.cfg.AssumedStartMbps
 	}
-	ctx := &Context{
-		Now:           e.now,
-		PlayFrame:     e.playFrame,
-		Stalled:       e.stalled,
-		Manifest:      e.m,
-		Grid:          e.grid,
-		Viewport:      e.cfg.Viewport,
-		Received:      e.received,
-		Predict:       e.vpPred.Predict,
-		PredictedMbps: mbps,
-		FrameDuration: e.frameDur,
-		FrameDeadline: e.frameDeadline,
-	}
-	e.queue = e.cfg.Scheme.Decide(ctx)
+	e.ctx.Now = e.now
+	e.ctx.PlayFrame = e.playFrame
+	e.ctx.Stalled = e.stalled
+	e.ctx.PredictedMbps = mbps
+	e.queue = e.cfg.Scheme.Decide(&e.ctx)
 	e.cfg.Trace.Record(e.now, obs.EvDecide, int64(len(e.queue)))
 	e.debugf("decide frame=%d stalled=%v est=%.1fMbps items=%d", e.playFrame, e.stalled, mbps, len(e.queue))
 }
@@ -365,9 +373,9 @@ func (e *engine) tryResume() {
 		return
 	}
 	o := e.cfg.Head.At(e.now)
-	ids := e.cfg.Viewport.Tiles(e.grid, o)
+	e.vpTiles = e.grid.AppendTilesInCap(e.vpTiles[:0], o, e.cfg.Viewport.RadiusDeg)
 	chunk := e.m.ChunkOfFrame(e.playFrame)
-	if !e.requirementMet(chunk, ids, e.startup) {
+	if !e.requirementMet(chunk, e.vpTiles, e.startup) {
 		return
 	}
 	if e.startup {
@@ -389,9 +397,9 @@ func (e *engine) tryResume() {
 // the policy demands complete viewports.
 func (e *engine) renderOrStall() {
 	o := e.cfg.Head.At(e.now)
-	ids := e.cfg.Viewport.Tiles(e.grid, o)
+	e.vpTiles = e.grid.AppendTilesInCap(e.vpTiles[:0], o, e.cfg.Viewport.RadiusDeg)
 	chunk := e.m.ChunkOfFrame(e.playFrame)
-	if e.policy != NeverStall && !e.requirementMet(chunk, ids, false) {
+	if e.policy != NeverStall && !e.requirementMet(chunk, e.vpTiles, false) {
 		e.stalled = true
 		e.stallStart = e.now
 		e.met.StallEvents++

@@ -34,6 +34,12 @@ type Accountant struct {
 	// Render usage: which variants were ever shown (drives wastage).
 	renderedPrimaryQ []bool // [(chunk*tiles+tile)*Q+q]
 	renderedMasking  []bool // [chunk*tiles+tile]
+
+	// scores memoizes quality.TileScore for the whole manifest; ids/weights
+	// are the per-frame cap-weight scratch reused across RenderFrame calls.
+	scores  *quality.ScoreTable
+	ids     []geom.TileID
+	weights []float64
 }
 
 // NewAccountant initializes accounting for one session.
@@ -56,13 +62,15 @@ func NewAccountant(m *video.Manifest, grid *geom.Grid, vp geom.Viewport, metric 
 		Metric:           metric,
 		renderedPrimaryQ: make([]bool, m.NumChunks*tiles*video.NumQualities),
 		renderedMasking:  make([]bool, m.NumChunks*tiles),
+		scores:           quality.Scores(m, metric),
 	}
 }
 
 // RenderFrame accounts one rendered viewport: the given chunk viewed from
 // orientation o, with availability evaluated at instant now.
 func (a *Accountant) RenderFrame(chunk int, o geom.Orientation, rcv *Received, now time.Duration) {
-	ids, weights := a.Grid.CapWeights(o, a.Viewport.RadiusDeg)
+	a.ids, a.weights = a.Grid.AppendCapWeights(a.ids[:0], a.weights[:0], o, a.Viewport.RadiusDeg)
+	ids, weights := a.ids, a.weights
 	tiles := a.Manifest.NumTiles()
 
 	var acc quality.ViewportAccumulator
@@ -76,7 +84,7 @@ func (a *Accountant) RenderFrame(chunk int, o geom.Orientation, rcv *Received, n
 		if q, ok := rcv.BestPrimaryBy(chunk, id, now); ok {
 			a.renderedPrimaryQ[ct*video.NumQualities+int(q)] = true
 			a.M.RenderedPrimaryByQuality[q]++
-			acc.Add(w, quality.TileScore(a.Metric, a.Manifest, chunk, id, q))
+			acc.Add(w, a.scores.Score(chunk, id, q))
 			continue
 		}
 		primarySkip = true
@@ -84,7 +92,7 @@ func (a *Accountant) RenderFrame(chunk int, o geom.Orientation, rcv *Received, n
 		if rcv.HasMaskingBy(chunk, id, now) {
 			a.renderedMasking[ct] = true
 			a.M.RenderedMasking++
-			acc.Add(w, quality.TileScore(a.Metric, a.Manifest, chunk, id, video.Lowest))
+			acc.Add(w, a.scores.Score(chunk, id, video.Lowest))
 			continue
 		}
 		if a.Interpolate {
@@ -131,7 +139,7 @@ func (a *Accountant) interpolated(chunk int, id geom.TileID, rcv *Received, now 
 	var contributors []geom.TileID
 	for _, n := range a.Grid.Neighbors4(id) {
 		if rcv.HasMaskingBy(chunk, n, now) {
-			sum += quality.TileScore(a.Metric, a.Manifest, chunk, n, video.Lowest)
+			sum += a.scores.Score(chunk, n, video.Lowest)
 			contributors = append(contributors, n)
 		}
 	}

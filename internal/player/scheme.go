@@ -109,5 +109,11 @@ type Scheme interface {
 	// request. The engine's server model drops entries already sent
 	// (re-sending only tiles previously delivered at masking quality), so
 	// schemes may re-state their full intent each epoch.
+	//
+	// The returned slice may alias buffers owned by the scheme and is only
+	// valid until the next Decide call on the same instance; callers that
+	// keep the list across decisions must copy it. The *Context may
+	// likewise be reused by the caller across decisions, so schemes must
+	// not retain it past the call.
 	Decide(ctx *Context) []RequestItem
 }

@@ -17,6 +17,7 @@ import (
 	"dragonfly/internal/baseline"
 	"dragonfly/internal/core"
 	"dragonfly/internal/decoder"
+	"dragonfly/internal/geom"
 	"dragonfly/internal/obs"
 	"dragonfly/internal/player"
 	"dragonfly/internal/quality"
@@ -201,6 +202,18 @@ func run(sw Sweep) (Results, error) {
 				}
 			}
 		}
+	}
+
+	// Pre-warm the process-wide shared tables once per manifest before the
+	// workers start: the overlap tables and score tables are built lazily
+	// behind sync.Once, so building them here keeps every worker on the
+	// read-only fast path instead of stampeding the same construction.
+	for _, v := range sw.Videos {
+		g := v.Grid()
+		tab := geom.SharedTable(g, geom.TableParams{})
+		geom.DefaultRoIs.Planes(tab)
+		tab.Plane(geom.DefaultViewport.RadiusDeg)
+		quality.Scores(v, sw.Metric)
 	}
 
 	workers := sw.Workers

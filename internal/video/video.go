@@ -12,6 +12,7 @@ package video
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dragonfly/internal/geom"
 )
@@ -76,6 +77,12 @@ type Manifest struct {
 	// masking strategy fetches this far around the predicted viewport
 	// (paper §3.2, §4.5).
 	MaskDisplacement []float64
+
+	// Grid() cache: a manifest's tiling never changes, and the grid
+	// precomputes the per-tile sample lattice, so every session sharing a
+	// manifest should share one grid.
+	gridOnce sync.Once
+	grid     *geom.Grid
 }
 
 // NewManifest allocates an empty manifest with the given dimensions. All
@@ -107,8 +114,14 @@ func (m *Manifest) NumTiles() int { return m.Rows * m.Cols }
 // NumFrames returns the total frame count of the video.
 func (m *Manifest) NumFrames() int { return m.NumChunks * m.ChunkFrames }
 
-// Grid builds the tile grid matching this manifest.
-func (m *Manifest) Grid() *geom.Grid { return geom.NewGrid(m.Rows, m.Cols) }
+// Grid returns the tile grid matching this manifest. The grid is built on
+// first call and cached: it is immutable, and sharing one instance lets
+// every session over this manifest also share the process-wide overlap
+// tables keyed off it.
+func (m *Manifest) Grid() *geom.Grid {
+	m.gridOnce.Do(func() { m.grid = geom.NewGrid(m.Rows, m.Cols) })
+	return m.grid
+}
 
 // ChunkOfFrame returns the chunk containing the given frame index.
 func (m *Manifest) ChunkOfFrame(frame int) int {

@@ -1,0 +1,118 @@
+// Micro-benchmarks for the per-decision fast path: Decide across the
+// masking variants (table-driven vs exact geometry), and the raw overlap
+// query underneath it (sampled spherical-cap integration vs the precomputed
+// table). Run with -benchmem: the Decide benchmarks must report zero
+// allocs/op in steady state — internal/core's TestDecideAllocationFree pins
+// the same property as a hard test.
+package dragonfly_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/geom"
+	"dragonfly/internal/player"
+	"dragonfly/internal/video"
+)
+
+var (
+	perfManifestOnce sync.Once
+	perfManifestVal  *video.Manifest
+)
+
+func perfManifest() *video.Manifest {
+	perfManifestOnce.Do(func() {
+		perfManifestVal = video.Generate(video.GenParams{ID: "perf", Seed: 2, NumChunks: 10})
+		for c := range perfManifestVal.MaskDisplacement {
+			perfManifestVal.MaskDisplacement[c] = 20
+		}
+	})
+	return perfManifestVal
+}
+
+// perfContext drifts the predicted orientation with time so repeated
+// decisions exercise changing candidate sets, not one cached shape.
+func perfContext(m *video.Manifest, mbps float64) *player.Context {
+	return &player.Context{
+		Manifest: m,
+		Grid:     m.Grid(),
+		Viewport: geom.DefaultViewport,
+		Received: player.NewReceived(m),
+		Predict: func(at time.Duration) geom.Orientation {
+			return geom.Orientation{Yaw: 20 * at.Seconds(), Pitch: 5}
+		},
+		PredictedMbps: mbps,
+		FrameDuration: time.Second / 30,
+		FrameDeadline: func(frame int) time.Duration { return time.Duration(frame) * time.Second / 30 },
+	}
+}
+
+func benchDecide(b *testing.B, opts core.Options) {
+	d := core.New(opts)
+	ctx := perfContext(perfManifest(), 12)
+	for i := 0; i < 10; i++ { // warm the scratch arenas to steady state
+		ctx.Now = time.Duration(i) * 100 * time.Millisecond
+		d.Decide(ctx)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Now = time.Duration(i%30) * 100 * time.Millisecond
+		d.Decide(ctx)
+	}
+}
+
+// The paper's default configuration (full-360° masking).
+func BenchmarkDecideFull360(b *testing.B) { benchDecide(b, core.DefaultOptions()) }
+
+// Tiled masking, plain chunk order.
+func BenchmarkDecideTiled(b *testing.B) { benchDecide(b, core.Options{Masking: core.MaskTiled}) }
+
+// Tiled masking ordered by the §3.1 utility scheduler.
+func BenchmarkDecideTiledScheduled(b *testing.B) {
+	benchDecide(b, core.Options{Masking: core.MaskTiled, MaskScheduled: true})
+}
+
+// The pre-table behavior: every overlap re-samples the sphere. The gap to
+// BenchmarkDecideFull360 is the overlap table's end-to-end win.
+func BenchmarkDecideExactGeometry(b *testing.B) {
+	benchDecide(b, core.Options{ExactGeometry: true})
+}
+
+// One full-grid location pass, exact path: hoist the cap query once, then
+// integrate the 4x4 sample lattice of every tile.
+func BenchmarkOverlapCapExact(b *testing.B) {
+	g := perfManifest().Grid()
+	n := g.NumTiles()
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		o := geom.Orientation{Yaw: float64(i%360) - 180, Pitch: 20}
+		q := geom.NewCapQuery(o, 75)
+		for id := 0; id < n; id++ {
+			sink += g.OverlapCapQ(geom.TileID(id), q)
+		}
+	}
+	_ = sink
+}
+
+// The same full-grid pass through the precomputed table: one orientation
+// quantization, then an array read per tile.
+func BenchmarkOverlapTableLookup(b *testing.B) {
+	g := perfManifest().Grid()
+	pl := geom.SharedTable(g, geom.TableParams{}).Plane(75)
+	n := g.NumTiles()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		o := geom.Orientation{Yaw: float64(i%360) - 180, Pitch: 20}
+		l := pl.Lookup(o)
+		for id := 0; id < n; id++ {
+			sink += l.Overlap(geom.TileID(id))
+		}
+	}
+	_ = sink
+}

@@ -26,10 +26,14 @@ go vet ./...
 go test -race -timeout 600s ./...
 
 # Benchmark smoke: every benchmark must still run, and its timing is
-# checked against BENCH_baseline.json with cmd/benchdiff.
+# checked against BENCH_baseline.json with cmd/benchdiff. The split
+# mirrors scripts/bench.sh: one iteration for the expensive experiment
+# sweeps, more for the microsecond-scale micro-benchmarks whose single
+# iteration is all warm-up noise.
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench=. -benchtime=1x . | tee "$raw"
+go test -run '^$' -bench='Fig|Table|Tiling|Ext' -benchtime=1x . | tee "$raw"
+go test -run '^$' -bench='Decide|Overlap' -benchtime="${BENCHTIME_MICRO:-50x}" . | tee -a "$raw"
 if [ "$strict" = 1 ]; then
 	go run ./cmd/benchdiff -baseline BENCH_baseline.json -new "$raw"
 else
