@@ -119,6 +119,13 @@ func main() {
 		fmt.Printf("  disconnects       %d (outage %s, %d tiles resumed)\n",
 			met.Disconnects, met.OutageDuration.Round(time.Millisecond), met.ResumedTiles)
 	}
+	if met.CorruptFrames > 0 || met.CorruptTiles > 0 {
+		fmt.Printf("  corruption        %d frames failed checksum, %d tiles dropped+refetched\n",
+			met.CorruptFrames, met.CorruptTiles)
+	}
+	if met.BusyRejects > 0 {
+		fmt.Printf("  busy rejects      %d (server at capacity; retried with backoff)\n", met.BusyRejects)
+	}
 	fmt.Printf("  bytes received    %.2f MB (wastage %.1f%%)\n",
 		float64(met.BytesReceived)/1e6, met.WastagePct())
 	fmt.Printf("  tile sources      ")

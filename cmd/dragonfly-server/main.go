@@ -17,6 +17,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"dragonfly/internal/netem"
@@ -36,6 +37,8 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline (0 = none)")
 	heartbeat := flag.Duration("heartbeat", server.DefaultHeartbeat, "idle-link ping interval (negative = off)")
 	maxQueue := flag.Int("max-queue", server.DefaultMaxQueue, "send-queue bound before slow-client shedding")
+	maxQueueBytes := flag.Int64("max-queue-bytes", 0, "per-session queued payload budget in bytes before shedding (0 = count bound only)")
+	maxConns := flag.Int("max-conns", 0, "admission limit; extra connections are fast-rejected with a retryable busy error (0 = unlimited)")
 	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics and /debug/pprof/ (empty = off)")
 	flag.Parse()
 
@@ -56,6 +59,8 @@ func main() {
 	srv.WriteTimeout = *writeTimeout
 	srv.Heartbeat = *heartbeat
 	srv.MaxQueue = *maxQueue
+	srv.MaxQueueBytes = *maxQueueBytes
+	srv.MaxConns = *maxConns
 
 	var link netem.Link
 	if *bwFile != "" {
@@ -96,8 +101,21 @@ func main() {
 		listener = netem.WrapListener(l, link)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	// First signal drains: in-flight sessions finish while new connections
+	// are fast-rejected with a retryable busy error. A second signal exits.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		log.Printf("draining: %d active sessions, rejecting new connections (signal again to exit)",
+			srv.ActiveConns())
+		srv.Drain()
+		<-sigc
+		log.Printf("second signal: shutting down")
+		cancel()
+	}()
 	if *adminAddr != "" {
 		srv.Obs = obs.NewRegistry()
 		adminListen, adminErr, err := obs.ServeAdmin(ctx, *adminAddr, srv.Obs)

@@ -13,6 +13,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -151,31 +152,40 @@ func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, s
 		opts.AssumedStartMbps = 5
 	}
 
-	if err := proto.WriteHello(conn, proto.Hello{VideoID: videoID}); err != nil {
-		return nil, fmt.Errorf("client: hello: %w", err)
+	// The opening handshake retries busy rejections (admission control:
+	// connection limit or drain) with the same backoff the reconnector uses,
+	// when a dialer is available to re-establish the link.
+	seed := opts.Reconnect.Seed
+	if seed == 0 {
+		seed = 1
 	}
-	msg, err := proto.ReadMessage(conn)
-	if err != nil {
-		return nil, fmt.Errorf("client: read manifest: %w", err)
+	hsRng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+	var m *video.Manifest
+	var busyRejects int64
+	for attempt := 0; ; attempt++ {
+		m2, err := handshake(conn, videoID)
+		if err == nil {
+			m = m2
+			break
+		}
+		if dial == nil || !errors.Is(err, errBusy) || attempt >= opts.Reconnect.MaxAttempts {
+			conn.Close()
+			return nil, err
+		}
+		busyRejects++
+		opts.Trace.Record(0, obs.EvBusy, int64(attempt+1))
+		conn.Close()
+		time.Sleep(opts.Reconnect.delay(attempt, hsRng))
+		if conn, err = dial(); err != nil {
+			return nil, fmt.Errorf("client: redial after busy: %w", err)
+		}
 	}
-	switch msg.Type {
-	case proto.MsgManifest:
-	case proto.MsgError:
-		return nil, fmt.Errorf("client: server error: %s", msg.Error)
-	default:
-		return nil, fmt.Errorf("client: expected manifest, got type %d", msg.Type)
-	}
-	m := msg.Manifest
 
 	videoDur := time.Duration(m.NumFrames()) * time.Second / time.Duration(m.FPS)
 	if opts.MaxWall == 0 {
 		opts.MaxWall = 3*videoDur + 30*time.Second
 	}
 
-	seed := opts.Reconnect.Seed
-	if seed == 0 {
-		seed = 1
-	}
 	s := &session{
 		conn:   conn,
 		dial:   dial,
@@ -204,7 +214,44 @@ func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, s
 	}
 	s.acct = player.NewAccountant(m, s.grid, opts.Viewport, opts.Metric, s.met)
 	s.acct.Interpolate = opts.MaskInterpolation
+	s.met.BusyRejects = busyRejects
 	return s.run()
+}
+
+// errBusy marks a handshake rejected by server admission control (connection
+// limit or drain); it is retryable with backoff when a dialer is available.
+var errBusy = errors.New("client: server busy")
+
+// handshake sends the hello and reads the manifest on a fresh connection.
+func handshake(conn net.Conn, videoID string) (*video.Manifest, error) {
+	if err := proto.WriteHello(conn, proto.Hello{VideoID: videoID}); err != nil {
+		// A fast-rejecting server writes its busy error and closes without
+		// reading the hello, so the write can fail with a broken pipe while
+		// the rejection sits unread in the receive buffer. Prefer the typed
+		// error if one is there.
+		if msg, rerr := proto.ReadMessage(conn); rerr == nil && msg.Type == proto.MsgError {
+			if proto.IsBusyText(msg.Error) {
+				return nil, fmt.Errorf("%w: %s", errBusy, msg.Error)
+			}
+			return nil, fmt.Errorf("client: server error: %s", msg.Error)
+		}
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	msg, err := proto.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("client: read manifest: %w", err)
+	}
+	switch msg.Type {
+	case proto.MsgManifest:
+		return msg.Manifest, nil
+	case proto.MsgError:
+		if proto.IsBusyText(msg.Error) {
+			return nil, fmt.Errorf("%w: %s", errBusy, msg.Error)
+		}
+		return nil, fmt.Errorf("client: server error: %s", msg.Error)
+	default:
+		return nil, fmt.Errorf("client: expected manifest, got type %d", msg.Type)
+	}
 }
 
 type session struct {
@@ -272,6 +319,14 @@ func (s *session) receiver(conn net.Conn, id int) {
 		}
 		msg, err := proto.ReadMessage(conn)
 		if err != nil {
+			if errors.Is(err, proto.ErrChecksum) {
+				// A corrupted frame desynchronizes the stream; tear the link
+				// down and let the reconnector resume. The resume bitmap does
+				// not hold the lost tile, so the server re-sends it.
+				s.mu.Lock()
+				s.met.CorruptFrames++
+				s.mu.Unlock()
+			}
 			s.linkLost(id, err)
 			return
 		}
@@ -279,6 +334,25 @@ func (s *session) receiver(conn net.Conn, id int) {
 		case proto.MsgTileData:
 			at := s.now()
 			size := int64(len(msg.TileData.Payload))
+			// Verify the payload against the manifest checksum before
+			// marking the tile held: a corrupt tile is dropped (never
+			// rendered) and refetched by the next decide/resume cycle. The
+			// bytes still crossed the link, so they count toward received
+			// bytes and the throughput estimate.
+			if want, hasSum := msg.TileData.Item.Checksum(s.m); hasSum && proto.PayloadChecksum(msg.TileData.Payload) != want {
+				s.mu.Lock()
+				if !s.finished {
+					s.met.CorruptTiles++
+					s.met.BytesReceived += size
+					if at > s.lastEvent {
+						s.bwPred.ObserveTransfer(size, at-s.lastEvent)
+					}
+					s.lastEvent = at
+				}
+				s.mu.Unlock()
+				s.opts.Trace.Add(obs.Event{At: at, Kind: obs.EvCorrupt, Chunk: msg.TileData.Item.Chunk, Tile: int(msg.TileData.Item.Tile), N: size})
+				continue
+			}
 			s.mu.Lock()
 			if s.finished {
 				s.mu.Unlock()
@@ -431,6 +505,15 @@ func (s *session) resume(conn net.Conn, sum player.HeldSummary) error {
 	case proto.MsgManifest:
 		return nil
 	case proto.MsgError:
+		if proto.IsBusyText(msg.Error) {
+			// Admission control said try later; the reconnect loop's backoff
+			// is exactly the retry the server asked for.
+			s.mu.Lock()
+			s.met.BusyRejects++
+			s.mu.Unlock()
+			s.opts.Trace.Record(s.now(), obs.EvBusy, 0)
+			return fmt.Errorf("%w: %s", errBusy, msg.Error)
+		}
 		return fmt.Errorf("client: resume rejected: %s", msg.Error)
 	default:
 		return fmt.Errorf("client: resume expected manifest, got type %d", msg.Type)

@@ -73,6 +73,8 @@ func All(numStudyUsers int) []Experiment {
 			Run: func(env *Env, w io.Writer) error { _, err := ExtMaskingOptimizations(env, w); return err }},
 		{ID: "ext-fault", Description: "extension: fault tolerance (reconnect + resume vs no-reconnect)",
 			Run: func(env *Env, w io.Writer) error { _, err := ExtFaultTolerance(env, w); return err }},
+		{ID: "chaos", Description: "extension: corruption + server-restart chaos with admission-control probe",
+			Run: func(env *Env, w io.Writer) error { _, err := ExtChaos(env, w); return err }},
 	}
 }
 

@@ -25,6 +25,12 @@ const (
 	FaultDisconnect
 	// FaultLatencySpike adds ExtraLatency to writes during Duration.
 	FaultLatencySpike
+	// FaultBitFlip corrupts one random bit of the first write at or after
+	// At — the in-flight corruption the wire CRC must catch. One-shot.
+	FaultBitFlip
+	// FaultTruncate drops the second half of the first write at or after At
+	// while reporting full success, desynchronizing the stream. One-shot.
+	FaultTruncate
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +42,10 @@ func (k FaultKind) String() string {
 		return "disconnect"
 	case FaultLatencySpike:
 		return "spike"
+	case FaultBitFlip:
+		return "bitflip"
+	case FaultTruncate:
+		return "truncate"
 	}
 	return fmt.Sprintf("faultkind(%d)", uint8(k))
 }
@@ -49,6 +59,10 @@ func ParseFaultKind(s string) (FaultKind, error) {
 		return FaultDisconnect, nil
 	case "spike":
 		return FaultLatencySpike, nil
+	case "bitflip":
+		return FaultBitFlip, nil
+	case "truncate":
+		return FaultTruncate, nil
 	}
 	return 0, fmt.Errorf("netem: unknown fault kind %q", s)
 }
@@ -72,6 +86,18 @@ func (fs *FaultSchedule) Disconnects() int {
 	n := 0
 	for _, e := range fs.Events {
 		if e.Kind == FaultDisconnect {
+			n++
+		}
+	}
+	return n
+}
+
+// Corruptions counts the payload-corruption events (bit flips and
+// truncations) in the schedule.
+func (fs *FaultSchedule) Corruptions() int {
+	n := 0
+	for _, e := range fs.Events {
+		if e.Kind == FaultBitFlip || e.Kind == FaultTruncate {
 			n++
 		}
 	}
@@ -168,6 +194,8 @@ type FaultGenParams struct {
 	Spikes        int
 	SpikeLatency  time.Duration // added latency per spike (default 200 ms)
 	SpikeDuration time.Duration // spike window (default 1 s)
+	BitFlips      int           // one-shot payload corruptions
+	Truncates     int           // one-shot half-write truncations
 }
 
 // GenerateFaults builds a seeded schedule: identical seeds replay the same
@@ -200,6 +228,12 @@ func GenerateFaults(p FaultGenParams) *FaultSchedule {
 			Duration: p.SpikeDuration, ExtraLatency: p.SpikeLatency,
 		})
 	}
+	for i := 0; i < p.BitFlips; i++ {
+		fs.Events = append(fs.Events, FaultEvent{At: at(), Kind: FaultBitFlip})
+	}
+	for i := 0; i < p.Truncates; i++ {
+		fs.Events = append(fs.Events, FaultEvent{At: at(), Kind: FaultTruncate})
+	}
 	fs.Events = fs.sorted()
 	return fs
 }
@@ -213,12 +247,17 @@ func GenerateFaults(p FaultGenParams) *FaultSchedule {
 type FaultLink struct {
 	Link     Link
 	Schedule *FaultSchedule
+	// Seed feeds the corruption RNG (which bit a FaultBitFlip flips), so
+	// fault scripts replay byte-identically. Zero is a valid seed.
+	Seed int64
 
 	mu      sync.Mutex
 	armed   bool
 	start   time.Time
 	current net.Conn
 	timers  []*time.Timer
+	fired   map[int]bool // one-shot corruption events already applied
+	rng     *rand.Rand
 }
 
 // Wrap shapes inner with the link and attaches it to the fault timeline as
@@ -299,19 +338,61 @@ func (fl *FaultLink) writeDelay() time.Duration {
 	return d
 }
 
+// corruptWrite applies any due one-shot corruption event to p. It returns
+// the buffer to actually transmit and the byte count to report to the
+// writer (-1 meaning "whatever the link wrote"): a truncation transmits
+// half the buffer but reports full success, exactly the silent data loss a
+// checksummed stream must surface.
+func (fl *FaultLink) corruptWrite(p []byte) ([]byte, int) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if !fl.armed || fl.Schedule == nil || len(p) == 0 {
+		return p, -1
+	}
+	el := time.Since(fl.start)
+	for i, ev := range fl.Schedule.Events {
+		if ev.Kind != FaultBitFlip && ev.Kind != FaultTruncate {
+			continue
+		}
+		if fl.fired[i] || el < ev.At {
+			continue
+		}
+		if fl.fired == nil {
+			fl.fired = make(map[int]bool)
+		}
+		fl.fired[i] = true
+		if ev.Kind == FaultTruncate {
+			return p[:len(p)/2], len(p)
+		}
+		if fl.rng == nil {
+			fl.rng = rand.New(rand.NewSource(fl.Seed))
+		}
+		buf := append([]byte(nil), p...)
+		bit := fl.rng.Intn(len(buf) * 8)
+		buf[bit/8] ^= 1 << (bit % 8)
+		return buf, -1
+	}
+	return p, -1
+}
+
 // faultConn applies the fault timeline on top of a shaped connection.
 type faultConn struct {
 	net.Conn // the shaped *Conn
 	fl       *FaultLink
 }
 
-// Write stalls through blackout windows and latency spikes, then paces the
-// bytes through the shaped link.
+// Write stalls through blackout windows and latency spikes, applies any due
+// corruption, then paces the bytes through the shaped link.
 func (c *faultConn) Write(p []byte) (int, error) {
 	if d := c.fl.writeDelay(); d > 0 {
 		time.Sleep(d)
 	}
-	return c.Conn.Write(p)
+	buf, report := c.fl.corruptWrite(p)
+	n, err := c.Conn.Write(buf)
+	if err != nil || report < 0 {
+		return n, err
+	}
+	return report, nil
 }
 
 // FaultListener wraps accepted connections with the same fault link, so a

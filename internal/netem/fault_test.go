@@ -172,3 +172,126 @@ func TestFaultLinkSpikeDelaysWrites(t *testing.T) {
 		t.Errorf("spiked write returned after only %v", d)
 	}
 }
+
+func TestFaultCSVCorruptionKindsRoundTrip(t *testing.T) {
+	fs := &FaultSchedule{Events: []FaultEvent{
+		{At: 500 * time.Millisecond, Kind: FaultBitFlip},
+		{At: 2 * time.Second, Kind: FaultTruncate},
+	}}
+	var sb strings.Builder
+	if err := fs.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFaultCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, fs.Events) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got.Events, fs.Events)
+	}
+	if got.Corruptions() != 2 {
+		t.Errorf("Corruptions = %d", got.Corruptions())
+	}
+}
+
+func TestGenerateFaultsCorruptions(t *testing.T) {
+	fs := GenerateFaults(FaultGenParams{Seed: 3, Duration: 10 * time.Second, BitFlips: 2, Truncates: 1})
+	if fs.Corruptions() != 3 {
+		t.Fatalf("Corruptions = %d, want 3", fs.Corruptions())
+	}
+	flips, truncs := 0, 0
+	for _, e := range fs.Events {
+		switch e.Kind {
+		case FaultBitFlip:
+			flips++
+		case FaultTruncate:
+			truncs++
+		}
+		if e.At < 0 || e.At > 10*time.Second {
+			t.Fatalf("event outside session span: %+v", e)
+		}
+	}
+	if flips != 2 || truncs != 1 {
+		t.Fatalf("flips=%d truncs=%d", flips, truncs)
+	}
+}
+
+func TestFaultLinkBitFlipCorruptsOneWrite(t *testing.T) {
+	fl := &FaultLink{
+		Link:     Link{}, // unshaped
+		Schedule: &FaultSchedule{Events: []FaultEvent{{At: 0, Kind: FaultBitFlip}}},
+		Seed:     7,
+	}
+	defer fl.Stop()
+	client, server := fl.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	payload := make([]byte, 64) // all zeros
+	go func() {
+		server.Write(payload)
+		server.Write(payload) // one-shot: the second write is clean
+	}()
+	buf := make([]byte, 64)
+	readFull := func() []byte {
+		got := buf[:0]
+		for len(got) < 64 {
+			n, err := client.Read(buf[len(got):64])
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return nil
+			}
+			got = buf[:len(got)+n]
+		}
+		return got
+	}
+	first := append([]byte(nil), readFull()...)
+	second := readFull()
+	diff := 0
+	for _, b := range first {
+		for ; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("first write has %d flipped bits, want exactly 1", diff)
+	}
+	for _, b := range second {
+		if b != 0 {
+			t.Fatalf("second write corrupted: % x", second)
+		}
+	}
+}
+
+func TestFaultLinkTruncateDropsHalfButReportsFull(t *testing.T) {
+	fl := &FaultLink{
+		Link:     Link{},
+		Schedule: &FaultSchedule{Events: []FaultEvent{{At: 0, Kind: FaultTruncate}}},
+	}
+	defer fl.Stop()
+	client, server := fl.Pipe()
+	defer client.Close()
+
+	payload := make([]byte, 32)
+	wrote := make(chan int, 1)
+	go func() {
+		n, _ := server.Write(payload)
+		wrote <- n
+		server.Close()
+	}()
+	var got int
+	buf := make([]byte, 64)
+	for {
+		n, err := client.Read(buf)
+		got += n
+		if err != nil {
+			break
+		}
+	}
+	if n := <-wrote; n != 32 {
+		t.Errorf("truncated write reported %d bytes, want full 32", n)
+	}
+	if got != 16 {
+		t.Errorf("received %d bytes, want the truncated 16", got)
+	}
+}

@@ -26,6 +26,8 @@ const (
 	EvReconnect EventKind = "reconnect" // link re-established (N = restored dedup entries)
 	EvOutage    EventKind = "outage"    // link lost; reconnector engaged
 	EvLinkDead  EventKind = "linkdead"  // reconnect budget exhausted or server goodbye
+	EvCorrupt   EventKind = "corrupt"   // tile payload failed checksum; dropped (N = bytes)
+	EvBusy      EventKind = "busy"      // server fast-rejected the handshake (admission control)
 )
 
 // Event is one entry of a session trace. At is session-relative time.

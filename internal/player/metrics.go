@@ -60,6 +60,15 @@ type Metrics struct {
 	OutageDuration time.Duration
 	ResumedTiles   int64
 
+	// Integrity and admission accounting (wire v3): tile payloads whose
+	// manifest checksum failed (dropped, never rendered, refetched via the
+	// next decide/resume cycle), frames torn down for a CRC-trailer
+	// mismatch, and handshakes the server fast-rejected with a retryable
+	// busy error before the client got through.
+	CorruptTiles  int64
+	CorruptFrames int64
+	BusyRejects   int64
+
 	// Rendered viewport-tile counts by source (Fig 13(b)).
 	RenderedPrimaryByQuality [video.NumQualities]int64
 	RenderedMasking          int64

@@ -53,6 +53,19 @@ func (it RequestItem) Size(m *video.Manifest) int64 {
 	return m.TileSize(it.Chunk, it.Tile, it.Quality)
 }
 
+// Checksum returns the manifest's CRC32-C for the item's payload and
+// whether the manifest carries checksums at all (pre-wire-v3 manifests do
+// not; callers skip payload verification for them).
+func (it RequestItem) Checksum(m *video.Manifest) (uint32, bool) {
+	if !m.HasChecksums() {
+		return 0, false
+	}
+	if it.Full360 {
+		return m.Full360Checksum(it.Chunk, it.Quality), true
+	}
+	return m.TileChecksum(it.Chunk, it.Tile, it.Quality), true
+}
+
 // StallPolicy selects the playback discipline when a needed tile is missing
 // at its render deadline (Table 1's "Skip/stall approach").
 type StallPolicy int

@@ -1,0 +1,66 @@
+package proto
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"dragonfly/internal/player"
+)
+
+// The framing benchmarks measure the CRC32-C trailer's cost on the tile
+// hot path: one framed write and one framed read of a typical ~128 KB tile
+// payload, with and without the checksum. scripts/bench.sh snapshots them
+// into BENCH_baseline.json so cmd/benchdiff gates regressions, and the
+// CRC/no-CRC pair documents the overhead headroom (budget: <= 5% end to
+// end, per ISSUE 5).
+
+const benchPayloadSize = 128 << 10
+
+func benchTile() TileData {
+	return TileData{
+		Item:    player.RequestItem{Stream: player.Primary, Chunk: 9, Tile: 31, Quality: 3},
+		Payload: bytes.Repeat([]byte{0x5A}, benchPayloadSize),
+	}
+}
+
+func benchFrameWrite(b *testing.B, withCRC bool) {
+	td := benchTile()
+	body := make([]byte, itemWireSize+len(td.Payload))
+	encodeItem(body, td.Item)
+	copy(body[itemWireSize:], td.Payload)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := writeFrameChecked(io.Discard, MsgTileData, body, withCRC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameWriteCRC(b *testing.B)   { benchFrameWrite(b, true) }
+func BenchmarkFrameWriteNoCRC(b *testing.B) { benchFrameWrite(b, false) }
+
+func benchFrameRead(b *testing.B, withCRC bool) {
+	var buf bytes.Buffer
+	td := benchTile()
+	body := make([]byte, itemWireSize+len(td.Payload))
+	encodeItem(body, td.Item)
+	copy(body[itemWireSize:], td.Payload)
+	if err := writeFrameChecked(&buf, MsgTileData, body, withCRC); err != nil {
+		b.Fatal(err)
+	}
+	frame := buf.Bytes()
+	r := bytes.NewReader(frame)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		if _, _, err := readFrameChecked(r, withCRC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameReadCRC(b *testing.B)   { benchFrameRead(b, true) }
+func BenchmarkFrameReadNoCRC(b *testing.B) { benchFrameRead(b, false) }

@@ -39,6 +39,21 @@ func FuzzReadMessage(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 1, 99})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
 	f.Add([]byte{})
+	// Wire-v3 trailer shapes: a frame with its CRC zeroed, one with a
+	// single body bit flipped (trailer now stale), and one truncated
+	// mid-trailer — all must fail cleanly.
+	zeroed := append([]byte(nil), tile.Bytes()...)
+	copy(zeroed[len(zeroed)-4:], []byte{0, 0, 0, 0})
+	f.Add(zeroed)
+	flipped := append([]byte(nil), req.Bytes()...)
+	flipped[6] ^= 0x01
+	f.Add(flipped)
+	f.Add(bye.Bytes()[:len(bye.Bytes())-2])
+	// Legacy wire-v2 frame (no trailer): a v3 reader must reject it, not
+	// desync.
+	var v2 bytes.Buffer
+	_ = writeFrameChecked(&v2, MsgHello, []byte{2, 'v', '1'}, false)
+	f.Add(v2.Bytes())
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		msg, err := ReadMessage(bytes.NewReader(raw))
@@ -105,6 +120,11 @@ func FuzzParseResume(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{2, 0})
 	f.Add([]byte{2, 255, 0, 0})
+	// Hostile dimension claims: counts at and beyond maxResumeDim whose
+	// implied bitmaps would dwarf the actual body.
+	f.Add([]byte{3, 0, 0, 1, 0, 0, 0, 1, 0, 0})
+	f.Add([]byte{3, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		r, err := parseResume(body)

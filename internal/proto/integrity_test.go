@@ -1,0 +1,186 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+
+	"dragonfly/internal/player"
+)
+
+// TestFrameChecksumDetectsBitFlips flips every bit of a framed message in
+// turn: each corruption must surface as an error — ErrChecksum when the
+// frame still parses far enough to reach the trailer — and never as a
+// silently decoded frame with different content.
+func TestFrameChecksumDetectsBitFlips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTileData(&buf, TileData{
+		Item:    player.RequestItem{Stream: player.Primary, Chunk: 3, Tile: 7, Quality: 2},
+		Payload: []byte("tile payload bytes"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	if _, err := ReadMessage(bytes.NewReader(clean)); err != nil {
+		t.Fatalf("clean frame rejected: %v", err)
+	}
+	for bit := 0; bit < len(clean)*8; bit++ {
+		raw := append([]byte(nil), clean...)
+		raw[bit/8] ^= 1 << uint(bit%8)
+		msg, err := ReadMessage(bytes.NewReader(raw))
+		if err == nil {
+			t.Fatalf("bit flip at %d decoded silently: %+v", bit, msg)
+		}
+	}
+}
+
+// TestFrameChecksumMismatchIsTyped corrupts a body byte (framing intact)
+// and checks the error is the ErrChecksum sentinel the corruption counters
+// key on.
+func TestFrameChecksumMismatchIsTyped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, Hello{VideoID: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[6] ^= 0x40 // inside the body, after [len][type]
+	_, err := ReadMessage(bytes.NewReader(raw))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt body: err = %v, want ErrChecksum", err)
+	}
+}
+
+// TestFrameTruncatedTrailer rejects a frame whose stream ends inside the
+// CRC trailer.
+func TestFrameTruncatedTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBye(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := len(raw) - trailerSize; cut < len(raw); cut++ {
+		if _, err := ReadMessage(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("frame truncated at %d/%d accepted", cut, len(raw))
+		}
+	}
+}
+
+// failOnReadReader fails the test if anything tries to read past the
+// header: a frame rejected for its declared length must be rejected on the
+// header alone.
+type failOnReadReader struct{ t *testing.T }
+
+func (r failOnReadReader) Read([]byte) (int, error) {
+	r.t.Fatal("body read attempted for an over-cap frame")
+	return 0, io.EOF
+}
+
+// TestReadFrameRejectsOverCapLengthBeforeReading feeds a length prefix
+// beyond MaxFrameSize: the frame must be rejected with ErrFrameTooLarge
+// without a single body read (and therefore without any body allocation).
+func TestReadFrameRejectsOverCapLengthBeforeReading(t *testing.T) {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], MaxFrameSize+1)
+	hdr[4] = byte(MsgTileData)
+	r := io.MultiReader(bytes.NewReader(hdr[:]), failOnReadReader{t})
+	_, _, err := readFrame(r)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestReadFrameHostileLengthPrefixAllocation feeds a header whose declared
+// length is just under the cap but whose stream carries only a handful of
+// bytes. Before the incremental-read fix, readFrame committed the full
+// declared length up front (~48 MB here); now allocation must track the
+// bytes that actually arrive. The pre-fix version of this test fails with
+// tens of MB allocated.
+func TestReadFrameHostileLengthPrefixAllocation(t *testing.T) {
+	const claimed = 48 << 20
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], claimed)
+	hdr[4] = byte(MsgTileData)
+	hostile := append(hdr[:], bytes.Repeat([]byte{0xAB}, 64)...)
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, _, err := readFrame(bytes.NewReader(hostile))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("hostile frame accepted")
+	}
+	// The stream died inside the first chunk, so at most one chunk (plus
+	// slack for the runtime) may have been committed — far below the 48 MB
+	// the prefix claimed.
+	if alloced := after.TotalAlloc - before.TotalAlloc; alloced > 4*readChunk {
+		t.Fatalf("hostile 48 MB prefix allocated %d bytes, want <= %d", alloced, 4*readChunk)
+	}
+}
+
+// TestReadFrameLargeBodyRoundTrip exercises the chunked body reader on a
+// frame bigger than one read chunk.
+func TestReadFrameLargeBodyRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xC7}, 3*readChunk+12345)
+	var buf bytes.Buffer
+	if err := WriteTileData(&buf, TileData{
+		Item:    player.RequestItem{Stream: player.Masking, Chunk: 1, Full360: true},
+		Payload: payload,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg.TileData.Payload, payload) {
+		t.Fatal("large payload corrupted through chunked read")
+	}
+}
+
+// TestV2PeerFailsCleanly frames a message in the legacy wire-v2 layout and
+// reads it with the v3 reader (and vice versa): both directions must fail
+// with a clean error, never decode garbage — the compatibility rule of
+// docs/RESILIENCE.md.
+func TestV2PeerFailsCleanly(t *testing.T) {
+	var v2 bytes.Buffer
+	if err := writeFrameChecked(&v2, MsgHello, []byte{2, 'v', '8'}, false); err != nil {
+		t.Fatal(err)
+	}
+	// v3 reader on a v2 stream: the 4 trailer bytes are missing.
+	if _, err := ReadMessage(bytes.NewReader(v2.Bytes())); err == nil {
+		t.Error("v3 reader accepted a v2 frame")
+	}
+
+	var v3 bytes.Buffer
+	if err := WriteHello(&v3, Hello{VideoID: "v8"}); err != nil {
+		t.Fatal(err)
+	}
+	// Two v3 frames back to back desync a v2 reader by the trailer width.
+	if err := WriteHello(&v3, Hello{VideoID: "v9"}); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(v3.Bytes())
+	if _, _, err := readFrameChecked(r, false); err != nil {
+		// The first v2 read may already fail; that is a clean error too.
+		return
+	}
+	// The second read starts 4 bytes into the stream; it must error, not
+	// decode a phantom frame of the same type.
+	if typ, _, err := readFrameChecked(r, false); err == nil && typ == MsgHello {
+		t.Error("v2 reader decoded a phantom hello from a v3 stream")
+	}
+}
+
+// TestBusyText checks the retryable-rejection convention round-trips and
+// does not swallow ordinary errors.
+func TestBusyText(t *testing.T) {
+	if !IsBusyText(BusyText("connection limit reached")) {
+		t.Error("BusyText not recognized as busy")
+	}
+	if IsBusyText("unknown video \"v1\"") {
+		t.Error("fatal error text misread as busy")
+	}
+}

@@ -3,16 +3,23 @@
 // superseding the previous one — and the server streams tile data back,
 // never re-sending a tile already delivered above masking quality.
 //
-// Framing: every message is [4-byte big-endian length][1-byte type][body].
-// Bodies use fixed-width big-endian integers; the manifest travels as JSON
-// (it is sent once per session).
+// Framing (wire v3): every message is [4-byte big-endian length][1-byte
+// type][body][4-byte CRC32-C trailer]; the length counts type+body and the
+// checksum covers the same bytes, so a flipped bit anywhere in a frame —
+// including its length prefix, which desynchronizes the stream — surfaces
+// as a clean integrity error instead of decoded garbage. Bodies use
+// fixed-width big-endian integers; the manifest travels as JSON (it is
+// sent once per session).
 package proto
 
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"strings"
 
 	"dragonfly/internal/geom"
 	"dragonfly/internal/player"
@@ -50,13 +57,58 @@ const (
 
 // ProtoVersion is the wire-protocol version carried inside resume frames.
 // Version 1 is the original (implicit) protocol; version 2 adds MsgResume
-// and MsgPing. A peer receiving a resume with a different version answers
-// with a clean MsgError instead of desynchronizing.
-const ProtoVersion = 2
+// and MsgPing; version 3 appends the CRC32-C trailer to every frame. A
+// peer receiving a resume with a different version answers with a clean
+// MsgError instead of desynchronizing; a v2 peer reading v3 frames (or
+// vice versa) desynchronizes by exactly the trailer width and fails the
+// next checksum, so version skew also surfaces as a clean error — the
+// v2→v3 compatibility rule documented in docs/RESILIENCE.md.
+const ProtoVersion = 3
 
 // MaxFrameSize bounds a single frame; the largest legitimate payload is a
-// full-360° chunk at the highest quality (a few MB).
+// full-360° chunk at the highest quality (a few MB), plus the multi-MB
+// JSON manifest of a long video. A declared length beyond the cap is
+// rejected before any body allocation.
 const MaxFrameSize = 64 << 20
+
+// trailerSize is the width of the CRC32-C frame trailer.
+const trailerSize = 4
+
+// castagnoli is the CRC32-C table shared by frame trailers and tile
+// payload checksums (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// PayloadChecksum is the tile-payload checksum carried per variant in the
+// manifest: CRC32-C over the encoded payload bytes. The client verifies it
+// before marking a tile held, catching corruption end to end even when the
+// per-frame trailer was computed over already-corrupt data.
+func PayloadChecksum(payload []byte) uint32 {
+	return crc32.Checksum(payload, castagnoli)
+}
+
+// ErrChecksum reports a frame whose CRC32-C trailer does not match its
+// contents. Peers treat it like any other link error — tear the
+// connection and (for resilient clients) reconnect — but counters keyed
+// on it separate corruption from ordinary resets.
+var ErrChecksum = errors.New("proto: frame checksum mismatch")
+
+// ErrFrameTooLarge reports a declared frame length beyond MaxFrameSize;
+// it is returned before any body allocation, so a corrupted or hostile
+// length prefix cannot commit gigabytes of memory.
+var ErrFrameTooLarge = errors.New("proto: frame exceeds length cap")
+
+// busyPrefix tags transient admission-control rejections (connection
+// limit, drain mode). It travels inside MsgError text so the wire format
+// needs no new message type, and clients treat it as retryable with
+// backoff rather than fatal.
+const busyPrefix = "busy: "
+
+// BusyText builds the canonical retryable-rejection error text.
+func BusyText(reason string) string { return busyPrefix + reason }
+
+// IsBusyText reports whether an MsgError text is a transient
+// admission-control rejection the client should retry with backoff.
+func IsBusyText(text string) bool { return strings.HasPrefix(text, busyPrefix) }
 
 // Hello opens a session.
 type Hello struct {
@@ -89,8 +141,15 @@ type Resume struct {
 	Held    player.HeldSummary
 }
 
-// writeFrame emits one framed message.
+// writeFrame emits one framed message with its CRC32-C trailer.
 func writeFrame(w io.Writer, t MsgType, body []byte) error {
+	return writeFrameChecked(w, t, body, true)
+}
+
+// writeFrameChecked is the framing core; withCRC false emits the legacy
+// wire-v2 layout (no trailer), kept for the compatibility tests and the
+// checksum-overhead benchmark.
+func writeFrameChecked(w io.Writer, t MsgType, body []byte, withCRC bool) error {
 	if len(body)+1 > MaxFrameSize {
 		return fmt.Errorf("proto: frame too large (%d bytes)", len(body))
 	}
@@ -102,30 +161,101 @@ func writeFrame(w io.Writer, t MsgType, body []byte) error {
 	}
 	// Skip the body write for empty frames (Bye, Ping): a zero-length
 	// Write on a net.Pipe blocks waiting for a reader rendezvous.
-	if len(body) == 0 {
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return fmt.Errorf("proto: write body: %w", err)
+		}
+	}
+	if !withCRC {
 		return nil
 	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("proto: write body: %w", err)
+	sum := crc32.Update(crc32.Checksum(hdr[4:5], castagnoli), castagnoli, body)
+	var trailer [trailerSize]byte
+	binary.BigEndian.PutUint32(trailer[:], sum)
+	if _, err := w.Write(trailer[:]); err != nil {
+		return fmt.Errorf("proto: write checksum: %w", err)
 	}
 	return nil
 }
 
-// readFrame reads one framed message.
+// readChunk caps how much body memory is committed ahead of the bytes
+// actually arriving: a frame claiming many MB grows its buffer as data
+// comes in, so a corrupted or hostile length prefix backed by a short
+// stream costs at most one chunk, not the declared length.
+const readChunk = 1 << 20
+
+// readFrame reads one framed message and verifies its trailer.
 func readFrame(r io.Reader) (MsgType, []byte, error) {
+	return readFrameChecked(r, true)
+}
+
+// readFrameChecked is the de-framing core; withCRC false reads the legacy
+// wire-v2 layout.
+func readFrameChecked(r io.Reader, withCRC bool) (MsgType, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
-	if n < 1 || n > MaxFrameSize {
+	if n < 1 {
 		return 0, nil, fmt.Errorf("proto: bad frame length %d", n)
 	}
-	body := make([]byte, n-1)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if n > MaxFrameSize {
+		// Reject before allocating anything: the declared length is
+		// attacker-controlled (or one bit flip away from absurd).
+		return 0, nil, fmt.Errorf("proto: frame length %d: %w", n, ErrFrameTooLarge)
+	}
+	body, err := readBody(r, int(n-1))
+	if err != nil {
 		return 0, nil, fmt.Errorf("proto: read body: %w", err)
 	}
+	if withCRC {
+		var trailer [trailerSize]byte
+		if _, err := io.ReadFull(r, trailer[:]); err != nil {
+			return 0, nil, fmt.Errorf("proto: read checksum: %w", err)
+		}
+		sum := crc32.Update(crc32.Checksum(hdr[4:5], castagnoli), castagnoli, body)
+		if sum != binary.BigEndian.Uint32(trailer[:]) {
+			return 0, nil, ErrChecksum
+		}
+	}
 	return MsgType(hdr[4]), body, nil
+}
+
+// readBody reads exactly n body bytes, growing the buffer chunk by chunk
+// so allocation tracks delivery, not the declared length.
+func readBody(r io.Reader, n int) ([]byte, error) {
+	if n <= readChunk {
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, err
+		}
+		return body, nil
+	}
+	body := make([]byte, 0, readChunk)
+	for len(body) < n {
+		c := n - len(body)
+		if c > readChunk {
+			c = readChunk
+		}
+		off := len(body)
+		if cap(body) < off+c {
+			// Double, capped at what remains: growth is paid for by bytes
+			// already received, never by the declared length alone.
+			grow := 2 * cap(body)
+			if grow > n {
+				grow = n
+			}
+			next := make([]byte, off, grow)
+			copy(next, body)
+			body = next
+		}
+		body = body[:off+c]
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return body, nil
 }
 
 // WriteHello sends a Hello.

@@ -58,6 +58,21 @@ type Server struct {
 	// entries are never dropped — they are the continuity floor continuous
 	// playback relies on. 0 means DefaultMaxQueue.
 	MaxQueue int
+	// MaxQueueBytes caps the payload bytes an installed fetch list may
+	// commit the session to — the per-session memory/backlog budget. It
+	// feeds the same lowest-utility-first shedder as MaxQueue; masking
+	// entries always fit. 0 disables the byte budget.
+	MaxQueueBytes int64
+	// MaxConns caps concurrent sessions. Beyond it the server fast-rejects
+	// the handshake with a typed busy ErrorMsg that resilient clients
+	// treat as retryable-with-backoff. 0 means unlimited.
+	MaxConns int
+
+	// active counts in-flight sessions for MaxConns admission; draining
+	// flips on Drain() and fast-rejects new sessions while in-flight ones
+	// run to completion.
+	active   atomic.Int64
+	draining atomic.Bool
 
 	// Obs, when non-nil, mirrors the send accounting into a metrics
 	// registry (srv_* counters, tile-size and queue-length histograms) for
@@ -73,33 +88,39 @@ type Server struct {
 type connObs struct {
 	primary, maskTile, maskFull *obs.Counter
 	bytes, pings, shed          *obs.Counter
+	shedBytes, corruptFrames    *obs.Counter
 	tileBytes, queueLen         *obs.Histogram
 }
 
 func (s *Server) bindConnObs() connObs {
 	r := s.Obs // nil registry hands out detached, nil-safe metrics
 	return connObs{
-		primary:   r.Counter("srv_primary_sent"),
-		maskTile:  r.Counter("srv_mask_tile_sent"),
-		maskFull:  r.Counter("srv_mask_full_sent"),
-		bytes:     r.Counter("srv_bytes_sent"),
-		pings:     r.Counter("srv_pings"),
-		shed:      r.Counter("srv_shed_items"),
-		tileBytes: r.Histogram("srv_tile_bytes"),
-		queueLen:  r.Histogram("srv_queue_len"),
+		primary:       r.Counter("srv_primary_sent"),
+		maskTile:      r.Counter("srv_mask_tile_sent"),
+		maskFull:      r.Counter("srv_mask_full_sent"),
+		bytes:         r.Counter("srv_bytes_sent"),
+		pings:         r.Counter("srv_pings"),
+		shed:          r.Counter("srv_shed_items"),
+		shedBytes:     r.Counter("srv_shed_bytes"),
+		corruptFrames: r.Counter("srv_corrupt_frames"),
+		tileBytes:     r.Histogram("srv_tile_bytes"),
+		queueLen:      r.Histogram("srv_queue_len"),
 	}
 }
 
 // counters aggregates send accounting across all connections.
 type counters struct {
-	primarySent  atomic.Int64
-	maskTileSent atomic.Int64
-	maskFullSent atomic.Int64
-	bytesSent    atomic.Int64
-	pings        atomic.Int64
-	resumes      atomic.Int64
-	resumedItems atomic.Int64
-	shedItems    atomic.Int64
+	primarySent   atomic.Int64
+	maskTileSent  atomic.Int64
+	maskFullSent  atomic.Int64
+	bytesSent     atomic.Int64
+	pings         atomic.Int64
+	resumes       atomic.Int64
+	resumedItems  atomic.Int64
+	shedItems     atomic.Int64
+	shedBytes     atomic.Int64
+	corruptFrames atomic.Int64
+	rejectedConns atomic.Int64
 }
 
 // Counters is a snapshot of the server's send accounting; the chaos tests
@@ -113,21 +134,42 @@ type Counters struct {
 	Resumes      int64 // sessions opened via MsgResume
 	ResumedItems int64 // dedup entries restored from resume summaries
 	ShedItems    int64 // queued items dropped by slow-client shedding
+	ShedBytes    int64 // payload bytes those shed items would have sent
+	// CorruptFrames counts inbound frames torn down for a CRC-trailer
+	// mismatch; RejectedConns counts handshakes fast-rejected by admission
+	// control (MaxConns saturation or drain mode).
+	CorruptFrames int64
+	RejectedConns int64
 }
 
 // Counters returns a snapshot of the server's send accounting.
 func (s *Server) Counters() Counters {
 	return Counters{
-		PrimarySent:  s.ctr.primarySent.Load(),
-		MaskTileSent: s.ctr.maskTileSent.Load(),
-		MaskFullSent: s.ctr.maskFullSent.Load(),
-		BytesSent:    s.ctr.bytesSent.Load(),
-		Pings:        s.ctr.pings.Load(),
-		Resumes:      s.ctr.resumes.Load(),
-		ResumedItems: s.ctr.resumedItems.Load(),
-		ShedItems:    s.ctr.shedItems.Load(),
+		PrimarySent:   s.ctr.primarySent.Load(),
+		MaskTileSent:  s.ctr.maskTileSent.Load(),
+		MaskFullSent:  s.ctr.maskFullSent.Load(),
+		BytesSent:     s.ctr.bytesSent.Load(),
+		Pings:         s.ctr.pings.Load(),
+		Resumes:       s.ctr.resumes.Load(),
+		ResumedItems:  s.ctr.resumedItems.Load(),
+		ShedItems:     s.ctr.shedItems.Load(),
+		ShedBytes:     s.ctr.shedBytes.Load(),
+		CorruptFrames: s.ctr.corruptFrames.Load(),
+		RejectedConns: s.ctr.rejectedConns.Load(),
 	}
 }
+
+// Drain puts the server in drain mode: new handshakes are fast-rejected
+// with a retryable busy error while in-flight sessions run to completion.
+// Combine with context cancellation (after the sessions finish) for a full
+// graceful shutdown; Drain itself never interrupts a stream.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether the server is refusing new sessions.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ActiveConns reports the number of in-flight sessions.
+func (s *Server) ActiveConns() int64 { return s.active.Load() }
 
 // New creates a server for the given videos.
 func New(manifests ...*video.Manifest) *Server {
@@ -230,46 +272,87 @@ func (st *sendState) signal() {
 // Generations compare with serial-number arithmetic so a long-lived session
 // survives uint32 wraparound, and an equal generation re-installs — the
 // idempotent replay a reconnecting client relies on. It returns how many
-// items were shed to fit maxQueue.
-func (st *sendState) install(r proto.Request, maxQueue int) int {
+// items (and payload bytes) were shed to fit the count and byte budgets.
+func (st *sendState) install(r proto.Request, maxQueue int, maxBytes int64, m *video.Manifest) (int, int64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed || int32(r.Generation-st.gen) < 0 {
 		// Stale (out-of-order) requests are ignored.
-		return 0
+		return 0, 0
 	}
 	st.gen = r.Generation
-	items, shed := shedQueue(r.Items, maxQueue)
+	items, shed, shedBytes := shedQueue(r.Items, maxQueue, maxBytes, m)
 	st.queue = items
 	st.signal()
-	return shed
+	return shed, shedBytes
 }
 
-// shedQueue drops the lowest-utility entries to fit the cap. Fetch lists
-// are ordered by descending utility (the scheme contract), so the tail
-// holds the least valuable items — but masking entries are never dropped.
-func shedQueue(items []player.RequestItem, max int) ([]player.RequestItem, int) {
-	if max <= 0 || len(items) <= max {
-		return items, 0
+// shedQueue drops the lowest-utility entries to fit the count cap and the
+// per-session byte budget. Fetch lists are ordered by descending utility
+// (the scheme contract), so the tail holds the least valuable items — but
+// masking entries are never dropped: they are the continuity floor, and
+// they consume budget that primaries then cannot. With a byte budget, an
+// oversized primary is shed while smaller lower-utility ones may still
+// fit; that is deliberate (more of the viewport covered per byte).
+func shedQueue(items []player.RequestItem, max int, maxBytes int64, m *video.Manifest) ([]player.RequestItem, int, int64) {
+	overCount := max > 0 && len(items) > max
+	if !overCount && maxBytes <= 0 {
+		return items, 0, 0
 	}
-	budget := max
-	for _, it := range items {
-		if it.Stream == player.Masking {
-			budget--
+	if !overCount {
+		var total int64
+		for _, it := range items {
+			total += safeSize(it, m)
+		}
+		if total <= maxBytes {
+			return items, 0, 0
 		}
 	}
-	kept := make([]player.RequestItem, 0, max)
+	countBudget := max
+	if max <= 0 {
+		countBudget = len(items)
+	}
+	byteBudget := maxBytes
+	for _, it := range items {
+		if it.Stream == player.Masking {
+			countBudget--
+			if maxBytes > 0 {
+				byteBudget -= safeSize(it, m)
+			}
+		}
+	}
+	kept := make([]player.RequestItem, 0, len(items))
+	var shedBytes int64
 	for _, it := range items {
 		if it.Stream == player.Masking {
 			kept = append(kept, it)
 			continue
 		}
-		if budget > 0 {
+		size := safeSize(it, m)
+		if countBudget > 0 && (maxBytes <= 0 || byteBudget >= size) {
 			kept = append(kept, it)
-			budget--
+			countBudget--
+			if maxBytes > 0 {
+				byteBudget -= size
+			}
+			continue
 		}
+		shedBytes += size
 	}
-	return kept, len(items) - len(kept)
+	return kept, len(items) - len(kept), shedBytes
+}
+
+// safeSize is RequestItem.Size with bounds checks: request items come off
+// the wire, and an out-of-range chunk or tile must shed as zero bytes (the
+// sender's next() skips it anyway), not panic the connection handler.
+func safeSize(it player.RequestItem, m *video.Manifest) int64 {
+	if it.Chunk < 0 || it.Chunk >= m.NumChunks || !it.Quality.Valid() {
+		return 0
+	}
+	if !it.Full360 && (int(it.Tile) < 0 || int(it.Tile) >= m.NumTiles()) {
+		return 0
+	}
+	return it.Size(m)
 }
 
 // preload marks the client-held items from a resume summary as already
@@ -352,6 +435,30 @@ func (s *Server) HandleConn(conn net.Conn) error {
 // HandleConnContext runs one streaming session; on ctx cancellation the
 // sender drains the queued tiles, sends a Bye, and returns.
 func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
+	// Admission control first, before reading a single client byte: a
+	// saturated or draining server must shed load instantly, not after a
+	// handshake's worth of work. The busy ErrorMsg is typed so resilient
+	// clients back off and retry instead of giving up.
+	if s.draining.Load() {
+		s.ctr.rejectedConns.Add(1)
+		s.Obs.Counter("srv_rejected_conns").Inc()
+		s.setWriteDeadline(conn)
+		_ = proto.WriteError(conn, proto.BusyText("server draining"))
+		return fmt.Errorf("server: rejected connection: draining")
+	}
+	if s.MaxConns > 0 {
+		if n := s.active.Add(1); n > int64(s.MaxConns) {
+			s.active.Add(-1)
+			s.ctr.rejectedConns.Add(1)
+			s.Obs.Counter("srv_rejected_conns").Inc()
+			s.setWriteDeadline(conn)
+			_ = proto.WriteError(conn, proto.BusyText(fmt.Sprintf("connection limit %d reached", s.MaxConns)))
+			return fmt.Errorf("server: rejected connection: limit %d reached", s.MaxConns)
+		}
+	} else {
+		s.active.Add(1)
+	}
+	defer s.active.Add(-1)
 	s.setReadDeadline(conn)
 	msg, err := proto.ReadMessage(conn)
 	if err != nil {
@@ -423,15 +530,21 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 			s.setReadDeadline(conn)
 			msg, err := proto.ReadMessage(conn)
 			if err != nil {
+				if errors.Is(err, proto.ErrChecksum) {
+					s.ctr.corruptFrames.Add(1)
+					co.corruptFrames.Inc()
+				}
 				readErr <- err
 				return
 			}
 			switch msg.Type {
 			case proto.MsgRequest:
 				co.queueLen.Observe(float64(len(msg.Request.Items)))
-				if shed := st.install(*msg.Request, maxQueue); shed > 0 {
+				if shed, shedBytes := st.install(*msg.Request, maxQueue, s.MaxQueueBytes, m); shed > 0 {
 					s.ctr.shedItems.Add(int64(shed))
+					s.ctr.shedBytes.Add(shedBytes)
 					co.shed.Add(int64(shed))
+					co.shedBytes.Add(shedBytes)
 				}
 			case proto.MsgBye:
 				readErr <- nil

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"io"
 	"net"
 	"testing"
 	"time"
@@ -29,11 +30,11 @@ func TestSendStateSupersession(t *testing.T) {
 	st.install(proto.Request{Generation: 1, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 1},
 		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 1},
-	}}, 0)
+	}}, 0, 0, m)
 	// A newer request replaces the queue wholesale.
 	st.install(proto.Request{Generation: 2, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 2, Quality: 3},
-	}}, 0)
+	}}, 0, 0, m)
 	it, ok, done := st.next(m)
 	if !ok || done || it.Tile != 2 {
 		t.Fatalf("next = %+v ok=%v done=%v", it, ok, done)
@@ -48,10 +49,10 @@ func TestSendStateIgnoresStaleGeneration(t *testing.T) {
 	st := newSendState(m)
 	st.install(proto.Request{Generation: 5, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 7, Quality: 1},
-	}}, 0)
+	}}, 0, 0, m)
 	st.install(proto.Request{Generation: 3, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 9, Quality: 1},
-	}}, 0)
+	}}, 0, 0, m)
 	it, ok, _ := st.next(m)
 	if !ok || it.Tile != 7 {
 		t.Fatalf("stale generation replaced queue: %+v", it)
@@ -69,7 +70,7 @@ func TestSendStateRedundancyRules(t *testing.T) {
 		{Stream: player.Masking, Chunk: 0, Tile: 2, Quality: 0},       // covered by full-360: dropped
 		{Stream: player.Masking, Chunk: 0, Full360: true, Quality: 0}, // duplicate full: dropped
 	}
-	st.install(proto.Request{Generation: 1, Items: items}, 0)
+	st.install(proto.Request{Generation: 1, Items: items}, 0, 0, m)
 	var sent []player.RequestItem
 	for {
 		it, ok, done := st.next(m)
@@ -93,7 +94,7 @@ func TestSendStateSkipsMalformed(t *testing.T) {
 		{Stream: player.Primary, Chunk: 999, Tile: 0, Quality: 1},
 		{Stream: player.Primary, Chunk: 0, Tile: 999, Quality: 1},
 		{Stream: player.Primary, Chunk: 0, Tile: 3, Quality: 1},
-	}}, 0)
+	}}, 0, 0, m)
 	it, ok, _ := st.next(m)
 	if !ok || it.Tile != 3 {
 		t.Fatalf("malformed items not skipped: %+v", it)
@@ -214,12 +215,12 @@ func TestSendStateEqualGenerationReplay(t *testing.T) {
 	st := newSendState(m)
 	st.install(proto.Request{Generation: 7, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 1},
-	}}, 0)
+	}}, 0, 0, m)
 	// A reconnecting client replays its last request with the same
 	// generation; the replay must install (idempotent), not be dropped.
 	st.install(proto.Request{Generation: 7, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 2, Quality: 1},
-	}}, 0)
+	}}, 0, 0, m)
 	it, ok, _ := st.next(m)
 	if !ok || it.Tile != 2 {
 		t.Fatalf("equal-generation replay ignored: %+v ok=%v", it, ok)
@@ -231,11 +232,11 @@ func TestSendStateGenerationWraparound(t *testing.T) {
 	st := newSendState(m)
 	st.install(proto.Request{Generation: ^uint32(0) - 1, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 1},
-	}}, 0)
+	}}, 0, 0, m)
 	// 3 is "newer" than 2^32-2 under serial-number arithmetic.
 	st.install(proto.Request{Generation: 3, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 2, Quality: 1},
-	}}, 0)
+	}}, 0, 0, m)
 	it, ok, _ := st.next(m)
 	if !ok || it.Tile != 2 {
 		t.Fatalf("wrapped generation treated as stale: %+v ok=%v", it, ok)
@@ -243,7 +244,7 @@ func TestSendStateGenerationWraparound(t *testing.T) {
 	// And the pre-wrap generation is now stale.
 	st.install(proto.Request{Generation: ^uint32(0) - 5, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 3, Quality: 1},
-	}}, 0)
+	}}, 0, 0, m)
 	if _, ok, _ := st.next(m); ok {
 		t.Fatal("pre-wrap generation accepted after wraparound")
 	}
@@ -255,7 +256,7 @@ func TestSendStateInstallAfterClose(t *testing.T) {
 	st.close()
 	st.install(proto.Request{Generation: 1, Items: []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 1},
-	}}, 0)
+	}}, 0, 0, m)
 	it, ok, done := st.next(m)
 	if ok || !done {
 		t.Fatalf("install after close queued work: %+v ok=%v done=%v", it, ok, done)
@@ -263,6 +264,7 @@ func TestSendStateInstallAfterClose(t *testing.T) {
 }
 
 func TestShedQueueKeepsMasking(t *testing.T) {
+	m := testManifest()
 	items := []player.RequestItem{
 		{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 1},
 		{Stream: player.Masking, Chunk: 0, Full360: true},
@@ -271,7 +273,7 @@ func TestShedQueueKeepsMasking(t *testing.T) {
 		{Stream: player.Primary, Chunk: 0, Tile: 2, Quality: 1},
 		{Stream: player.Primary, Chunk: 0, Tile: 3, Quality: 1},
 	}
-	kept, shed := shedQueue(items, 3)
+	kept, shed, _ := shedQueue(items, 3, 0, m)
 	if shed != 3 || len(kept) != 3 {
 		t.Fatalf("kept %d shed %d, want 3/3", len(kept), shed)
 	}
@@ -290,7 +292,7 @@ func TestShedQueueKeepsMasking(t *testing.T) {
 		t.Fatalf("lowest-utility primary kept instead of head: %+v", kept)
 	}
 	// Under the cap, nothing is shed.
-	if _, shed := shedQueue(items, 10); shed != 0 {
+	if _, shed, _ := shedQueue(items, 10, 0, m); shed != 0 {
 		t.Fatalf("shed %d below cap", shed)
 	}
 }
@@ -316,7 +318,7 @@ func TestSendStatePreload(t *testing.T) {
 		{Stream: player.Masking, Chunk: 1, Full360: true},       // held: suppressed
 		{Stream: player.Masking, Chunk: 1, Tile: 0, Quality: 0}, // covered by held full-360
 		{Stream: player.Primary, Chunk: 0, Tile: 4, Quality: 2}, // not held: sent
-	}}, 0)
+	}}, 0, 0, m)
 	it, ok, _ := st.next(m)
 	if !ok || it.Tile != 4 || it.Stream != player.Primary {
 		t.Fatalf("preload did not suppress held items: %+v ok=%v", it, ok)
@@ -535,5 +537,269 @@ func TestServeHonorsContext(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("Serve did not stop on cancel")
+	}
+}
+
+// drainConn consumes everything the server writes so its final Bye (and
+// any heartbeat pings) never block on the unbuffered pipe.
+func drainConn(c net.Conn) { go func() { _, _ = io.Copy(io.Discard, c) }() }
+
+// readNonPing reads the next non-heartbeat message.
+func readNonPing(c net.Conn) (*proto.Message, error) {
+	for {
+		msg, err := proto.ReadMessage(c)
+		if err != nil || msg.Type != proto.MsgPing {
+			return msg, err
+		}
+	}
+}
+
+func TestShedQueueEmpty(t *testing.T) {
+	m := testManifest()
+	kept, shed, shedBytes := shedQueue(nil, 3, 1024, m)
+	if len(kept) != 0 || shed != 0 || shedBytes != 0 {
+		t.Fatalf("empty queue shed %d items / %d bytes", shed, shedBytes)
+	}
+}
+
+func TestShedQueueByteBudget(t *testing.T) {
+	m := testManifest()
+	big := player.RequestItem{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: video.NumQualities - 1}
+	small := player.RequestItem{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 0}
+	if big.Size(m) <= small.Size(m) {
+		t.Fatalf("manifest sizes not ordered: big=%d small=%d", big.Size(m), small.Size(m))
+	}
+	// Budget fits the small primary but not the big one: the oversized
+	// higher-utility item is shed while the smaller one still rides along.
+	budget := small.Size(m)
+	kept, shed, shedBytes := shedQueue([]player.RequestItem{big, small}, 0, budget, m)
+	if shed != 1 || shedBytes != big.Size(m) {
+		t.Fatalf("shed %d items / %d bytes, want 1 / %d", shed, shedBytes, big.Size(m))
+	}
+	if len(kept) != 1 || kept[0].Tile != 1 {
+		t.Fatalf("kept = %+v, want only the small primary", kept)
+	}
+	// Under the budget, nothing is shed.
+	if _, shed, _ := shedQueue([]player.RequestItem{big, small}, 0, big.Size(m)+small.Size(m), m); shed != 0 {
+		t.Fatalf("shed %d under budget", shed)
+	}
+}
+
+func TestShedQueueBudgetSmallerThanOneTile(t *testing.T) {
+	m := testManifest()
+	items := []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 2},
+		{Stream: player.Masking, Chunk: 0, Full360: true, Quality: 0},
+		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 2},
+	}
+	// A budget of one byte fits no primary at all — but the masking entry
+	// (the continuity floor) survives regardless.
+	kept, shed, _ := shedQueue(items, 0, 1, m)
+	if shed != 2 {
+		t.Fatalf("shed %d, want both primaries", shed)
+	}
+	if len(kept) != 1 || kept[0].Stream != player.Masking {
+		t.Fatalf("kept = %+v, want only masking", kept)
+	}
+}
+
+func TestShedQueueShedEverything(t *testing.T) {
+	m := testManifest()
+	items := []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 1},
+		{Stream: player.Primary, Chunk: 0, Tile: 1, Quality: 1},
+		{Stream: player.Primary, Chunk: 0, Tile: 2, Quality: 1},
+	}
+	var wantBytes int64
+	for _, it := range items {
+		wantBytes += it.Size(m)
+	}
+	kept, shed, shedBytes := shedQueue(items, 0, 1, m)
+	if len(kept) != 0 || shed != len(items) || shedBytes != wantBytes {
+		t.Fatalf("kept=%d shed=%d bytes=%d, want 0/%d/%d", len(kept), shed, shedBytes, len(items), wantBytes)
+	}
+}
+
+func TestShedQueueMalformedItemsShedAsZeroBytes(t *testing.T) {
+	m := testManifest()
+	items := []player.RequestItem{
+		{Stream: player.Primary, Chunk: 999, Tile: 0, Quality: 1}, // out of range
+		{Stream: player.Primary, Chunk: 0, Tile: 999, Quality: 1}, // out of range
+	}
+	// Hostile wire items must not panic the shedder; they cost zero budget.
+	kept, _, shedBytes := shedQueue(items, 0, 1, m)
+	if shedBytes != 0 {
+		t.Fatalf("malformed items accounted %d bytes", shedBytes)
+	}
+	if len(kept) != 2 {
+		// Zero-size items always fit the byte budget; next() drops them.
+		t.Fatalf("kept = %+v", kept)
+	}
+}
+
+func TestSendStatePreloadIdempotent(t *testing.T) {
+	m := testManifest()
+	st := newSendState(m)
+	held := player.HeldSummary{
+		NumChunks: m.NumChunks,
+		NumTiles:  m.NumTiles(),
+		Primary:   make([]byte, (m.NumChunks*m.NumTiles()+7)/8),
+		MaskTile:  make([]byte, (m.NumChunks*m.NumTiles()+7)/8),
+		MaskFull:  make([]byte, (m.NumChunks+7)/8),
+	}
+	held.Primary[0] |= 1 << 2
+	held.MaskTile[0] |= 1 << 2
+	held.MaskFull[0] |= 1 << 0
+
+	if n := st.preload(held, m); n != 3 {
+		t.Fatalf("first preload restored %d, want 3", n)
+	}
+	// A duplicate summary (same entries) restores nothing new — the resume
+	// counter never double-counts a reconnecting client's held tiles.
+	if n := st.preload(held, m); n != 0 {
+		t.Fatalf("second preload restored %d, want 0", n)
+	}
+}
+
+func TestHandleConnMaxConns(t *testing.T) {
+	m := testManifest()
+	s := New(m)
+	s.MaxConns = 1
+
+	// First session occupies the only slot.
+	c1, srv1 := net.Pipe()
+	done1 := make(chan error, 1)
+	go func() {
+		defer srv1.Close()
+		done1 <- s.HandleConnContext(context.Background(), srv1)
+	}()
+	defer c1.Close()
+	go func() { _ = proto.WriteHello(c1, proto.Hello{VideoID: "srv"}) }()
+	if msg, err := proto.ReadMessage(c1); err != nil || msg.Type != proto.MsgManifest {
+		t.Fatalf("first session handshake: %v / %+v", err, msg)
+	}
+
+	// Saturated: the second handshake is fast-rejected with a typed busy
+	// error, before the server reads a single byte from it.
+	c2, srv2 := net.Pipe()
+	done2 := make(chan error, 1)
+	go func() {
+		defer srv2.Close()
+		done2 <- s.HandleConnContext(context.Background(), srv2)
+	}()
+	defer c2.Close()
+	msg, err := proto.ReadMessage(c2)
+	if err != nil {
+		t.Fatalf("read rejection: %v", err)
+	}
+	if msg.Type != proto.MsgError || !proto.IsBusyText(msg.Error) {
+		t.Fatalf("saturated server sent %+v, want busy MsgError", msg)
+	}
+	if err := <-done2; err == nil {
+		t.Fatal("rejected handshake reported no error")
+	}
+	if ctr := s.Counters(); ctr.RejectedConns != 1 {
+		t.Fatalf("RejectedConns = %d, want 1", ctr.RejectedConns)
+	}
+
+	// Releasing the slot readmits.
+	drainConn(c1)
+	_ = proto.WriteBye(c1)
+	if err := <-done1; err != nil {
+		t.Fatalf("first session: %v", err)
+	}
+	if n := s.ActiveConns(); n != 0 {
+		t.Fatalf("ActiveConns = %d after close", n)
+	}
+	c3, srv3 := net.Pipe()
+	go func() {
+		defer srv3.Close()
+		_ = s.HandleConnContext(context.Background(), srv3)
+	}()
+	defer c3.Close()
+	go func() { _ = proto.WriteHello(c3, proto.Hello{VideoID: "srv"}) }()
+	if msg, err := proto.ReadMessage(c3); err != nil || msg.Type != proto.MsgManifest {
+		t.Fatalf("post-release handshake: %v / %+v", err, msg)
+	}
+	drainConn(c3)
+	_ = proto.WriteBye(c3)
+}
+
+func TestHandleConnDrain(t *testing.T) {
+	m := testManifest()
+	s := New(m)
+
+	// An in-flight session must survive the drain flip.
+	c1, srv1 := net.Pipe()
+	done1 := make(chan error, 1)
+	go func() {
+		defer srv1.Close()
+		done1 <- s.HandleConnContext(context.Background(), srv1)
+	}()
+	defer c1.Close()
+	go func() { _ = proto.WriteHello(c1, proto.Hello{VideoID: "srv"}) }()
+	if msg, err := proto.ReadMessage(c1); err != nil || msg.Type != proto.MsgManifest {
+		t.Fatalf("pre-drain handshake: %v / %+v", err, msg)
+	}
+
+	s.Drain()
+	if !s.Draining() {
+		t.Fatal("Draining() false after Drain()")
+	}
+
+	c2, srv2 := net.Pipe()
+	go func() {
+		defer srv2.Close()
+		_ = s.HandleConnContext(context.Background(), srv2)
+	}()
+	defer c2.Close()
+	msg, err := proto.ReadMessage(c2)
+	if err != nil {
+		t.Fatalf("read drain rejection: %v", err)
+	}
+	if msg.Type != proto.MsgError || !proto.IsBusyText(msg.Error) {
+		t.Fatalf("draining server sent %+v, want busy MsgError", msg)
+	}
+
+	// The pre-drain session still works: request a tile and receive it.
+	if err := proto.WriteRequest(c1, proto.Request{Generation: 1, Items: []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := readNonPing(c1); err != nil || msg.Type != proto.MsgTileData {
+		t.Fatalf("in-flight session broken by drain: %v / %+v", err, msg)
+	}
+	drainConn(c1)
+	_ = proto.WriteBye(c1)
+	if err := <-done1; err != nil {
+		t.Fatalf("in-flight session: %v", err)
+	}
+}
+
+func TestHandleConnCorruptFrameCounted(t *testing.T) {
+	m := testManifest()
+	s := New(m)
+	c, srv := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		defer srv.Close()
+		done <- s.HandleConnContext(context.Background(), srv)
+	}()
+	defer c.Close()
+	go func() { _ = proto.WriteHello(c, proto.Hello{VideoID: "srv"}) }()
+	if msg, err := proto.ReadMessage(c); err != nil || msg.Type != proto.MsgManifest {
+		t.Fatalf("handshake: %v / %+v", err, msg)
+	}
+	drainConn(c)
+	// A frame whose CRC trailer does not match its body: type byte for a
+	// request with a garbage body and a zeroed checksum.
+	frame := []byte{0, 0, 0, 5, byte(proto.MsgRequest), 1, 2, 3, 4, 0, 0, 0, 0}
+	if _, err := c.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if ctr := s.Counters(); ctr.CorruptFrames != 1 {
+		t.Fatalf("CorruptFrames = %d, want 1", ctr.CorruptFrames)
 	}
 }

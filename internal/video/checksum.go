@@ -1,0 +1,83 @@
+package video
+
+import (
+	"hash/crc32"
+
+	"dragonfly/internal/geom"
+)
+
+// payloadCastagnoli is the CRC32-C table used for tile payload checksums;
+// it matches proto.PayloadChecksum, so a checksum computed at encode time
+// verifies the exact bytes a client receives.
+var payloadCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// zeroBuf is a shared scratch block for checksumming synthetic payloads
+// (the generator's tile contents are all zeros; only the length varies).
+var zeroBuf [64 << 10]byte
+
+// zeroCRC returns the CRC32-C of n zero bytes without materializing them.
+func zeroCRC(n int64) uint32 {
+	sum := crc32.Checksum(nil, payloadCastagnoli)
+	for n > 0 {
+		c := n
+		if c > int64(len(zeroBuf)) {
+			c = int64(len(zeroBuf))
+		}
+		sum = crc32.Update(sum, payloadCastagnoli, zeroBuf[:c])
+		n -= c
+	}
+	return sum
+}
+
+// HasChecksums reports whether the manifest carries per-variant payload
+// checksums. Manifests serialized before wire v3 do not; clients skip
+// payload verification for them (the frame-level CRC still applies).
+func (m *Manifest) HasChecksums() bool {
+	return len(m.checksums) > 0 && len(m.full360Checksums) > 0
+}
+
+// allocChecksums sizes the checksum arrays for the manifest's dimensions.
+func (m *Manifest) allocChecksums() {
+	m.checksums = make([]uint32, m.NumChunks*m.NumTiles()*NumQualities)
+	m.full360Checksums = make([]uint32, m.NumChunks*NumQualities)
+}
+
+// TileChecksum returns the CRC32-C of the tile variant's payload.
+// Manifests without checksums report 0; gate on HasChecksums.
+func (m *Manifest) TileChecksum(chunk int, tile geom.TileID, q Quality) uint32 {
+	if len(m.checksums) == 0 {
+		return 0
+	}
+	return m.checksums[m.index(chunk, tile, q)]
+}
+
+// SetTileChecksum sets the payload checksum of the tile variant.
+func (m *Manifest) SetTileChecksum(chunk int, tile geom.TileID, q Quality, sum uint32) {
+	if len(m.checksums) == 0 {
+		m.allocChecksums()
+	}
+	m.checksums[m.index(chunk, tile, q)] = sum
+}
+
+// Full360Checksum returns the CRC32-C of the untiled chunk payload at
+// quality q. Manifests without checksums report 0; gate on HasChecksums.
+func (m *Manifest) Full360Checksum(chunk int, q Quality) uint32 {
+	if len(m.full360Checksums) == 0 {
+		return 0
+	}
+	if chunk < 0 || chunk >= m.NumChunks || !q.Valid() {
+		panic("video: full360 checksum index out of range")
+	}
+	return m.full360Checksums[chunk*NumQualities+int(q)]
+}
+
+// SetFull360Checksum sets the payload checksum of the untiled chunk.
+func (m *Manifest) SetFull360Checksum(chunk int, q Quality, sum uint32) {
+	if len(m.full360Checksums) == 0 {
+		m.allocChecksums()
+	}
+	if chunk < 0 || chunk >= m.NumChunks || !q.Valid() {
+		panic("video: full360 checksum index out of range")
+	}
+	m.full360Checksums[chunk*NumQualities+int(q)] = sum
+}

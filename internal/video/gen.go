@@ -213,5 +213,21 @@ func Generate(p GenParams) *Manifest {
 			m.SetBlackPSNR(chunk, tid, 10*math.Log10(255*255/mseBlack))
 		}
 	}
+
+	// Payload checksums (wire v3): the synthetic encoder emits all-zero
+	// payloads, so each variant's CRC32-C depends only on its size. The
+	// client verifies these before marking a tile held; CRC32-C is
+	// hardware-accelerated, so even a minute-long manifest costs only tens
+	// of milliseconds here.
+	m.allocChecksums()
+	for chunk := 0; chunk < p.NumChunks; chunk++ {
+		for q := Quality(0); q < NumQualities; q++ {
+			m.SetFull360Checksum(chunk, q, zeroCRC(m.Full360Size(chunk, q)))
+			for t := 0; t < tiles; t++ {
+				tid := geom.TileID(t)
+				m.SetTileChecksum(chunk, tid, q, zeroCRC(m.TileSize(chunk, tid, q)))
+			}
+		}
+	}
 	return m
 }

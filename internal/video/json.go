@@ -24,6 +24,11 @@ type manifestJSON struct {
 	BlackPSNR        []float64 `json:"black_psnr"`
 	Full360          []int64   `json:"full360"`
 	MaskDisplacement []float64 `json:"mask_displacement"`
+
+	// Payload checksums are optional for backward compatibility with
+	// manifests serialized before wire v3.
+	Checksums        []uint32 `json:"checksums,omitempty"`
+	Full360Checksums []uint32 `json:"full360_checksums,omitempty"`
 }
 
 // WriteTo serializes the manifest as JSON.
@@ -42,6 +47,8 @@ func (m *Manifest) WriteTo(w io.Writer) (int64, error) {
 		BlackPSNR:        m.blackPSNR,
 		Full360:          m.full360,
 		MaskDisplacement: m.MaskDisplacement,
+		Checksums:        m.checksums,
+		Full360Checksums: m.full360Checksums,
 	}
 	b, err := json.Marshal(j)
 	if err != nil {
@@ -75,6 +82,12 @@ func ReadManifest(r io.Reader) (*Manifest, error) {
 	if len(j.Full360) != j.NumChunks*NumQualities {
 		return nil, fmt.Errorf("video: manifest %q full360 array has wrong length", j.VideoID)
 	}
+	// Checksums are all-or-nothing: a manifest carrying only part of them
+	// would silently disable verification for the missing variants.
+	hasSums := len(j.Checksums) > 0 || len(j.Full360Checksums) > 0
+	if hasSums && (len(j.Checksums) != wantTQ || len(j.Full360Checksums) != j.NumChunks*NumQualities) {
+		return nil, fmt.Errorf("video: manifest %q checksum arrays have wrong length", j.VideoID)
+	}
 	m := &Manifest{
 		VideoID:          j.VideoID,
 		Rows:             j.Rows,
@@ -88,6 +101,8 @@ func ReadManifest(r io.Reader) (*Manifest, error) {
 		blackPSNR:        j.BlackPSNR,
 		full360:          j.Full360,
 		MaskDisplacement: j.MaskDisplacement,
+		checksums:        j.Checksums,
+		full360Checksums: j.Full360Checksums,
 	}
 	if m.MaskDisplacement == nil {
 		m.MaskDisplacement = make([]float64, m.NumChunks)

@@ -78,6 +78,13 @@ type Manifest struct {
 	// (paper §3.2, §4.5).
 	MaskDisplacement []float64
 
+	// checksums[chunk*tiles*Q + tile*Q + q] is the CRC32-C of each encoded
+	// tile payload, and full360Checksums[chunk*Q + q] of each untiled
+	// chunk. Empty in manifests serialized before wire v3: clients then
+	// skip payload verification (see HasChecksums).
+	checksums        []uint32
+	full360Checksums []uint32
+
 	// Grid() cache: a manifest's tiling never changes, and the grid
 	// precomputes the per-tile sample lattice, so every session sharing a
 	// manifest should share one grid.

@@ -2,6 +2,8 @@ package video
 
 import (
 	"bytes"
+	"encoding/json"
+	"hash/crc32"
 	"math"
 	"testing"
 	"testing/quick"
@@ -377,5 +379,84 @@ func BenchmarkGenerate(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Generate(GenParams{ID: "bench", TargetQP42Mbps: 3, Seed: int64(i), NumChunks: 10})
+	}
+}
+
+func TestManifestChecksums(t *testing.T) {
+	m := testManifest(t)
+	if !m.HasChecksums() {
+		t.Fatal("generated manifest carries no payload checksums")
+	}
+	// The synthetic payloads are zero-filled, so every checksum must equal
+	// the CRC32-C of that many zero bytes — verified against a literal
+	// zero buffer, not zeroCRC itself.
+	id := geom.TileID(5)
+	size := m.TileSize(2, id, Quality(3))
+	want := crc32.Checksum(make([]byte, size), payloadCastagnoli)
+	if got := m.TileChecksum(2, id, Quality(3)); got != want {
+		t.Errorf("tile checksum %08x, want %08x", got, want)
+	}
+	fsize := m.Full360Size(1, Quality(0))
+	fwant := crc32.Checksum(make([]byte, fsize), payloadCastagnoli)
+	if got := m.Full360Checksum(1, Quality(0)); got != fwant {
+		t.Errorf("full360 checksum %08x, want %08x", got, fwant)
+	}
+
+	// Checksums survive the JSON round trip.
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasChecksums() {
+		t.Fatal("round trip dropped checksums")
+	}
+	if got.TileChecksum(2, id, Quality(3)) != want {
+		t.Error("round trip corrupted tile checksum")
+	}
+}
+
+func TestZeroCRCMatchesLiteral(t *testing.T) {
+	for _, n := range []int64{0, 1, 100, int64(len(zeroBuf)), int64(len(zeroBuf)) + 1, 3*int64(len(zeroBuf)) + 17} {
+		want := crc32.Checksum(make([]byte, n), payloadCastagnoli)
+		if got := zeroCRC(n); got != want {
+			t.Errorf("zeroCRC(%d) = %08x, want %08x", n, got, want)
+		}
+	}
+}
+
+func TestReadManifestRejectsPartialChecksums(t *testing.T) {
+	m := Generate(GenParams{ID: "ck", Rows: 2, Cols: 2, NumChunks: 1, Seed: 9})
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var j map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &j); err != nil {
+		t.Fatal(err)
+	}
+	delete(j, "full360_checksums") // tile checksums without full360 ones
+	raw, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bytes.NewReader(raw)); err == nil {
+		t.Error("manifest with partial checksum arrays accepted")
+	}
+	// Dropping both is the documented pre-v3 form and must stay readable.
+	delete(j, "checksums")
+	raw, err = json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := ReadManifest(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.HasChecksums() {
+		t.Error("legacy manifest claims checksums")
 	}
 }

@@ -25,6 +25,13 @@ fi
 go vet ./...
 go test -race -timeout 600s ./...
 
+# Fuzz smoke: ten seconds per wire-format parser. The v3 framing work
+# (CRC trailers, hard length cap, resume bitmaps) lives or dies on these
+# parsers rejecting hostile bytes without panicking or over-allocating.
+for target in FuzzReadMessage FuzzParseTileData FuzzParseResume; do
+	go test -run '^$' -fuzz "^${target}\$" -fuzztime "${FUZZTIME:-10s}" ./internal/proto
+done
+
 # Benchmark smoke: every benchmark must still run, and its timing is
 # checked against BENCH_baseline.json with cmd/benchdiff. The split
 # mirrors scripts/bench.sh: one iteration for the expensive experiment
@@ -34,6 +41,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench='Fig|Table|Tiling|Ext' -benchtime=1x . | tee "$raw"
 go test -run '^$' -bench='Decide|Overlap' -benchtime="${BENCHTIME_MICRO:-50x}" . | tee -a "$raw"
+go test -run '^$' -bench='Frame' -benchtime="${BENCHTIME_MICRO:-50x}" ./internal/proto | tee -a "$raw"
 if [ "$strict" = 1 ]; then
 	go run ./cmd/benchdiff -baseline BENCH_baseline.json -new "$raw"
 else
