@@ -1,0 +1,117 @@
+// Command dragonfly-balancer fronts a fleet of dragonfly-server instances:
+// it health-checks every backend with wire-protocol ping probes, routes
+// each new session to the least-loaded healthy member (scraping queue
+// depth from the servers' admin endpoints when available), and steers
+// reconnecting clients away from dead or draining hosts — the client's
+// resume bitmap rebuilds its session on the new server for free.
+//
+// Usage:
+//
+//	dragonfly-balancer -addr :7360 -backends 10.0.0.1:7361,10.0.0.2:7361
+//	dragonfly-balancer -backends "10.0.0.1:7361@10.0.0.1:8080,10.0.0.2:7361"
+//
+// A backend given as addr@admin also has its obs /metrics endpoint scraped
+// for the srv_queue_bytes load signal; without @admin the score uses the
+// probe-reported session count alone.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dragonfly/internal/balancer"
+	"dragonfly/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7360", "listen address for client sessions")
+	backends := flag.String("backends", "", "comma-separated backend list, each addr or addr@adminAddr")
+	probeInterval := flag.Duration("probe-interval", balancer.DefaultProbeInterval, "health-check period per backend")
+	probeTimeout := flag.Duration("probe-timeout", balancer.DefaultProbeTimeout, "per-probe dial+exchange deadline")
+	failThreshold := flag.Int("fail-threshold", balancer.DefaultFailThreshold, "consecutive probe failures before a backend is unhealthy")
+	recoverThreshold := flag.Int("recover-threshold", balancer.DefaultRecoverThreshold, "consecutive probe successes before an unhealthy backend is routable again")
+	dialTimeout := flag.Duration("dial-timeout", balancer.DefaultDialTimeout, "backend connect timeout when routing a session")
+	metricsMaxAge := flag.Duration("metrics-max-age", 0, "trust window for backend load data before falling back to round-robin (0 = 4x probe interval)")
+	adminAddr := flag.String("admin", "", "admin HTTP listen address serving the balancer's own /metrics (empty = off)")
+	flag.Parse()
+
+	if *backends == "" {
+		log.Fatal("at least one -backends entry is required")
+	}
+	var cfgs []balancer.BackendConfig
+	for _, spec := range strings.Split(*backends, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		bc := balancer.BackendConfig{Addr: spec}
+		if at := strings.IndexByte(spec, '@'); at >= 0 {
+			bc.Addr, bc.AdminAddr = spec[:at], spec[at+1:]
+		}
+		cfgs = append(cfgs, bc)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		log.Printf("signal: shutting down")
+		cancel()
+	}()
+
+	reg := obs.NewRegistry()
+	if *adminAddr != "" {
+		adminListen, adminErr, err := obs.ServeAdmin(ctx, *adminAddr, reg)
+		if err != nil {
+			log.Fatalf("admin listener: %v", err)
+		}
+		go func() {
+			if err := <-adminErr; err != nil {
+				log.Printf("admin listener: %v", err)
+			}
+		}()
+		log.Printf("admin endpoint on http://%s (/metrics, /debug/pprof/)", adminListen)
+	}
+
+	bl, err := balancer.New(balancer.Config{
+		Backends:         cfgs,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		FailThreshold:    *failThreshold,
+		RecoverThreshold: *recoverThreshold,
+		DialTimeout:      *dialTimeout,
+		MetricsMaxAge:    *metricsMaxAge,
+		Obs:              reg,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Periodic status line: one glance tells which members carry traffic.
+	go func() {
+		t := time.NewTicker(10 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				for _, st := range bl.Status() {
+					log.Printf("backend %s healthy=%v draining=%v conns=%d routed=%d queue=%dB",
+						st.Addr, st.Healthy, st.Draining, st.ActiveConns, st.Routed, st.QueueBytes)
+				}
+			}
+		}
+	}()
+	if err := bl.ListenAndServe(ctx, *addr); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+}

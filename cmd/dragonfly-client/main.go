@@ -15,6 +15,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"dragonfly/internal/client"
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7360", "server address")
+	addr := flag.String("addr", "127.0.0.1:7360", "server address, or a comma-separated list (balancer-free failover: sessions rotate across members with per-address backoff)")
 	videoID := flag.String("video", "v1", "video ID to stream")
 	schemeKey := flag.String("scheme", "dragonfly", "scheme: dragonfly, flare, pano, twotier, ...")
 	motion := flag.String("motion", "medium", "synthetic user motion: low, medium, high")
@@ -71,7 +72,17 @@ func main() {
 		})
 	}
 
-	dial := func() (net.Conn, error) { return client.DialTimeout(*addr, *dialTimeout) }
+	addrs := strings.Split(*addr, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	var dial client.DialFunc
+	if len(addrs) > 1 {
+		md := &client.MultiDialer{Addrs: addrs, Timeout: *dialTimeout}
+		dial = md.Dial
+	} else {
+		dial = func() (net.Conn, error) { return client.DialTimeout(addrs[0], *dialTimeout) }
+	}
 
 	var sessionTrace *obs.Trace
 	if *traceFile != "" {

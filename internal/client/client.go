@@ -124,21 +124,23 @@ func Play(conn net.Conn, videoID string, head *trace.HeadTrace, scheme player.Sc
 // PlayResilient dials the server and streams videoID like Play, but
 // survives connection faults: on a read/write error or idle timeout it
 // redials with exponential backoff and resumes the session via the resume
-// protocol, while playback keeps running on whatever is already held.
+// protocol, while playback keeps running on whatever is already held. The
+// initial dial runs through the same backoff-and-redial loop that absorbs
+// busy rejections, so a briefly absent backend (restart, failover gap)
+// delays the session start instead of killing it.
 func PlayResilient(dial DialFunc, videoID string, head *trace.HeadTrace, scheme player.Scheme, opts PlayOptions) (*player.Metrics, error) {
 	if dial == nil {
 		return nil, fmt.Errorf("client: dial function is required")
 	}
-	conn, err := dial()
-	if err != nil {
-		return nil, fmt.Errorf("client: dial: %w", err)
-	}
-	return play(conn, dial, videoID, head, scheme, opts)
+	return play(nil, dial, videoID, head, scheme, opts)
 }
 
 func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, scheme player.Scheme, opts PlayOptions) (*player.Metrics, error) {
 	if head == nil || scheme == nil {
 		return nil, fmt.Errorf("client: head trace and scheme are required")
+	}
+	if conn == nil && dial == nil {
+		return nil, fmt.Errorf("client: a connection or dial function is required")
 	}
 	if len(head.Samples) == 0 || head.SamplePeriod <= 0 {
 		// The playback loop advances the head schedule by SamplePeriod; a
@@ -152,9 +154,11 @@ func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, s
 		opts.AssumedStartMbps = 5
 	}
 
-	// The opening handshake retries busy rejections (admission control:
-	// connection limit or drain) with the same backoff the reconnector uses,
-	// when a dialer is available to re-establish the link.
+	// The opening dial and handshake retry failed connects and busy
+	// rejections (admission control: connection limit or drain) with the
+	// same backoff the reconnector uses, when a dialer is available to
+	// re-establish the link. MaxAttempts of zero keeps the historical
+	// single-shot behavior: the first failure of either kind is fatal.
 	seed := opts.Reconnect.Seed
 	if seed == 0 {
 		seed = 1
@@ -163,6 +167,17 @@ func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, s
 	var m *video.Manifest
 	var busyRejects int64
 	for attempt := 0; ; attempt++ {
+		if conn == nil {
+			c, err := dial()
+			if err != nil {
+				if attempt >= opts.Reconnect.MaxAttempts {
+					return nil, fmt.Errorf("client: dial: %w", err)
+				}
+				time.Sleep(opts.Reconnect.delay(attempt, hsRng))
+				continue
+			}
+			conn = c
+		}
 		m2, err := handshake(conn, videoID)
 		if err == nil {
 			m = m2
@@ -175,10 +190,8 @@ func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, s
 		busyRejects++
 		opts.Trace.Record(0, obs.EvBusy, int64(attempt+1))
 		conn.Close()
+		conn = nil
 		time.Sleep(opts.Reconnect.delay(attempt, hsRng))
-		if conn, err = dial(); err != nil {
-			return nil, fmt.Errorf("client: redial after busy: %w", err)
-		}
 	}
 
 	videoDur := time.Duration(m.NumFrames()) * time.Second / time.Duration(m.FPS)

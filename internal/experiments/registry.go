@@ -75,6 +75,8 @@ func All(numStudyUsers int) []Experiment {
 			Run: func(env *Env, w io.Writer) error { _, err := ExtFaultTolerance(env, w); return err }},
 		{ID: "chaos", Description: "extension: corruption + server-restart chaos with admission-control probe",
 			Run: func(env *Env, w io.Writer) error { _, err := ExtChaos(env, w); return err }},
+		{ID: "fleet-chaos", Description: "extension: balancer-fronted fleet with kill/cold-restart/drain mid-stream",
+			Run: func(env *Env, w io.Writer) error { _, err := ExtFleetChaos(env, w); return err }},
 	}
 }
 

@@ -1,0 +1,61 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPongRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Pong{Draining: true, ActiveConns: 1234}
+	if err := WritePong(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgPing {
+		t.Fatalf("type = %d, want MsgPing", msg.Type)
+	}
+	if msg.Ping == nil {
+		t.Fatal("status pong decoded with nil Ping")
+	}
+	if *msg.Ping != want {
+		t.Errorf("pong = %+v, want %+v", *msg.Ping, want)
+	}
+}
+
+func TestPlainPingHasNoStatus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePing(&buf); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgPing {
+		t.Fatalf("type = %d, want MsgPing", msg.Type)
+	}
+	if msg.Ping != nil {
+		t.Errorf("heartbeat ping decoded a status body: %+v", msg.Ping)
+	}
+}
+
+func TestShortPingBodyIgnored(t *testing.T) {
+	// A MsgPing body shorter than the pong layout is treated as a plain
+	// heartbeat, not an error: forward/backward ping compatibility is
+	// "ignore what you do not understand".
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, MsgPing, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Ping != nil {
+		t.Errorf("short ping body decoded as pong: %+v", msg.Ping)
+	}
+}

@@ -50,8 +50,13 @@ const (
 	// the server can rebuild its redundancy-suppression state instead of
 	// re-sending them.
 	MsgResume
-	// MsgPing (server -> client): heartbeat while the send queue is idle,
-	// letting the client distinguish an idle link from a dead one.
+	// MsgPing (either direction): with an empty body, the server's idle
+	// heartbeat, letting the client distinguish an idle link from a dead
+	// one. Sent by a client (or balancer) as the *first* message of a
+	// connection it is a health probe: the server answers with a status
+	// pong (a MsgPing whose body carries drain state and active-session
+	// count) and ends the session. Receivers ignore bodies they do not
+	// understand, so the status body is wire-compatible with plain pings.
 	MsgPing
 )
 
@@ -140,6 +145,26 @@ type Resume struct {
 	VideoID string
 	Held    player.HeldSummary
 }
+
+// Pong is the status body a server attaches to the MsgPing it returns for
+// a health probe: liveness plus the two facts a balancer routes on without
+// a side channel — whether the server is draining and how loaded it is. A
+// plain heartbeat ping has no body and decodes with a nil Pong.
+type Pong struct {
+	// Draining reports the server is refusing new sessions (drain mode).
+	// Note a draining server usually fast-rejects the probe with a busy
+	// ErrorMsg before reading it, so probers must treat a busy reject as
+	// "alive but draining" too; the flag exists for probes that do get a
+	// pong back.
+	Draining bool
+	// ActiveConns is the server's in-flight session count at probe time,
+	// excluding the probe connection itself — a load signal for balancers
+	// with no admin-endpoint access.
+	ActiveConns uint32
+}
+
+// pongWireSize is the encoded size of a status pong body.
+const pongWireSize = 1 + 4
 
 // writeFrame emits one framed message with its CRC32-C trailer.
 func writeFrame(w io.Writer, t MsgType, body []byte) error {
@@ -429,8 +454,19 @@ func parseResume(body []byte) (Resume, error) {
 	return r, nil
 }
 
-// WritePing sends an idle-link heartbeat.
+// WritePing sends an idle-link heartbeat (or, as a connection's first
+// message, a health probe).
 func WritePing(w io.Writer) error { return writeFrame(w, MsgPing, nil) }
+
+// WritePong sends a MsgPing carrying probe status.
+func WritePong(w io.Writer, p Pong) error {
+	body := make([]byte, pongWireSize)
+	if p.Draining {
+		body[0] = 1
+	}
+	binary.BigEndian.PutUint32(body[1:], p.ActiveConns)
+	return writeFrame(w, MsgPing, body)
+}
 
 // WriteBye sends an orderly-shutdown frame.
 func WriteBye(w io.Writer) error { return writeFrame(w, MsgBye, nil) }
@@ -441,6 +477,7 @@ func WriteError(w io.Writer, text string) error {
 }
 
 // Message is the decoded form of any frame: exactly one field is set.
+// (Ping is set only for status pongs; a plain heartbeat MsgPing sets none.)
 type Message struct {
 	Type     MsgType
 	Hello    *Hello
@@ -448,6 +485,7 @@ type Message struct {
 	Request  *Request
 	TileData *TileData
 	Resume   *Resume
+	Ping     *Pong
 	Error    string
 }
 
@@ -489,7 +527,17 @@ func ReadMessage(r io.Reader) (*Message, error) {
 			return nil, err
 		}
 		msg.Resume = &r
-	case MsgBye, MsgPing:
+	case MsgBye:
+	case MsgPing:
+		// A status pong carries a body; heartbeats are empty. Unknown
+		// (longer) bodies still decode the known prefix, so the pong can
+		// grow fields without breaking old readers.
+		if len(body) >= pongWireSize {
+			msg.Ping = &Pong{
+				Draining:    body[0] == 1,
+				ActiveConns: binary.BigEndian.Uint32(body[1:5]),
+			}
+		}
 	case MsgError:
 		msg.Error = string(body)
 	default:

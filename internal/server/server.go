@@ -70,9 +70,13 @@ type Server struct {
 
 	// active counts in-flight sessions for MaxConns admission; draining
 	// flips on Drain() and fast-rejects new sessions while in-flight ones
-	// run to completion.
-	active   atomic.Int64
-	draining atomic.Bool
+	// run to completion. queuedBytes sums the payload bytes committed
+	// across all live fetch queues; together they feed the
+	// srv_active_conns / srv_draining / srv_queue_bytes gauges the
+	// balancer reads off the admin endpoint to score backend load.
+	active      atomic.Int64
+	draining    atomic.Bool
+	queuedBytes atomic.Int64
 
 	// Obs, when non-nil, mirrors the send accounting into a metrics
 	// registry (srv_* counters, tile-size and queue-length histograms) for
@@ -121,6 +125,7 @@ type counters struct {
 	shedBytes     atomic.Int64
 	corruptFrames atomic.Int64
 	rejectedConns atomic.Int64
+	probes        atomic.Int64
 }
 
 // Counters is a snapshot of the server's send accounting; the chaos tests
@@ -137,9 +142,11 @@ type Counters struct {
 	ShedBytes    int64 // payload bytes those shed items would have sent
 	// CorruptFrames counts inbound frames torn down for a CRC-trailer
 	// mismatch; RejectedConns counts handshakes fast-rejected by admission
-	// control (MaxConns saturation or drain mode).
+	// control (MaxConns saturation or drain mode). Probes counts health
+	// probes (first-message MsgPing) answered with a status pong.
 	CorruptFrames int64
 	RejectedConns int64
+	Probes        int64
 }
 
 // Counters returns a snapshot of the server's send accounting.
@@ -156,6 +163,7 @@ func (s *Server) Counters() Counters {
 		ShedBytes:     s.ctr.shedBytes.Load(),
 		CorruptFrames: s.ctr.corruptFrames.Load(),
 		RejectedConns: s.ctr.rejectedConns.Load(),
+		Probes:        s.ctr.probes.Load(),
 	}
 }
 
@@ -163,13 +171,35 @@ func (s *Server) Counters() Counters {
 // with a retryable busy error while in-flight sessions run to completion.
 // Combine with context cancellation (after the sessions finish) for a full
 // graceful shutdown; Drain itself never interrupts a stream.
-func (s *Server) Drain() { s.draining.Store(true) }
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.Obs.Gauge("srv_draining").Set(1)
+}
 
 // Draining reports whether the server is refusing new sessions.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // ActiveConns reports the number of in-flight sessions.
 func (s *Server) ActiveConns() int64 { return s.active.Load() }
+
+// noteActive adjusts the in-flight session count and mirrors it to the
+// srv_active_conns gauge, returning the new count.
+func (s *Server) noteActive(delta int64) int64 {
+	n := s.active.Add(delta)
+	s.Obs.Gauge("srv_active_conns").Set(float64(n))
+	return n
+}
+
+// addQueuedBytes adjusts the fleet-visible queued-payload total and
+// mirrors it to the srv_queue_bytes gauge. It is the sendState report
+// callback: installs add, sends and teardown subtract.
+func (s *Server) addQueuedBytes(delta int64) {
+	s.Obs.Gauge("srv_queue_bytes").Set(float64(s.queuedBytes.Add(delta)))
+}
+
+// QueuedBytes reports the payload bytes currently committed across all
+// live fetch queues.
+func (s *Server) QueuedBytes() int64 { return s.queuedBytes.Load() }
 
 // New creates a server for the given videos.
 func New(manifests ...*video.Manifest) *Server {
@@ -211,6 +241,16 @@ func (s *Server) setWriteDeadline(conn net.Conn) {
 // cancellation it stops accepting, lets in-flight handlers drain their
 // queues and say goodbye, and waits for them before returning.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	// Publish the load gauges at their current values so a balancer
+	// scraping a fresh (or restarted) instance reads zeros, not absent
+	// keys it would have to treat as stale data.
+	s.noteActive(0)
+	s.addQueuedBytes(0)
+	if s.draining.Load() {
+		s.Obs.Gauge("srv_draining").Set(1)
+	} else {
+		s.Obs.Gauge("srv_draining").Set(0)
+	}
 	go func() {
 		<-ctx.Done()
 		l.Close()
@@ -245,6 +285,12 @@ type sendState struct {
 	gen    uint32
 	closed bool
 
+	// queuedBytes is the payload total of the installed queue; every
+	// change is pushed through report (a delta callback) so the server
+	// can keep a cross-connection srv_queue_bytes gauge current.
+	queuedBytes int64
+	report      func(delta int64)
+
 	sentPrimary  []bool
 	sentMaskTile []bool
 	sentMaskFull []bool
@@ -254,6 +300,7 @@ func newSendState(m *video.Manifest) *sendState {
 	tiles := m.NumTiles()
 	return &sendState{
 		wake:         make(chan struct{}, 1),
+		report:       func(int64) {},
 		sentPrimary:  make([]bool, m.NumChunks*tiles),
 		sentMaskTile: make([]bool, m.NumChunks*tiles),
 		sentMaskFull: make([]bool, m.NumChunks),
@@ -283,6 +330,14 @@ func (st *sendState) install(r proto.Request, maxQueue int, maxBytes int64, m *v
 	st.gen = r.Generation
 	items, shed, shedBytes := shedQueue(r.Items, maxQueue, maxBytes, m)
 	st.queue = items
+	var bytes int64
+	for _, it := range items {
+		bytes += safeSize(it, m)
+	}
+	if delta := bytes - st.queuedBytes; delta != 0 {
+		st.queuedBytes = bytes
+		st.report(delta)
+	}
 	st.signal()
 	return shed, shedBytes
 }
@@ -393,6 +448,10 @@ func (st *sendState) next(m *video.Manifest) (it player.RequestItem, ok, done bo
 	for len(st.queue) > 0 {
 		it = st.queue[0]
 		st.queue = st.queue[1:]
+		if size := safeSize(it, m); size > 0 {
+			st.queuedBytes -= size
+			st.report(-size)
+		}
 		if it.Chunk < 0 || it.Chunk >= m.NumChunks || (!it.Full360 && int(it.Tile) >= tiles) {
 			continue // malformed entry; skip defensively
 		}
@@ -427,6 +486,23 @@ func (st *sendState) close() {
 	st.signal()
 }
 
+// releaseQueued closes the state and returns its remaining byte
+// commitment through the report callback, so a session torn down with a
+// non-empty queue (write error, kill) does not leak srv_queue_bytes.
+// Installs racing with teardown are ignored by the closed check in
+// install, so the gauge cannot drift after release.
+func (st *sendState) releaseQueued() {
+	st.mu.Lock()
+	st.closed = true
+	rem := st.queuedBytes
+	st.queuedBytes = 0
+	if rem != 0 {
+		st.report(-rem)
+	}
+	st.mu.Unlock()
+	st.signal()
+}
+
 // HandleConn runs one streaming session over an established connection.
 func (s *Server) HandleConn(conn net.Conn) error {
 	return s.HandleConnContext(context.Background(), conn)
@@ -447,8 +523,8 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 		return fmt.Errorf("server: rejected connection: draining")
 	}
 	if s.MaxConns > 0 {
-		if n := s.active.Add(1); n > int64(s.MaxConns) {
-			s.active.Add(-1)
+		if n := s.noteActive(1); n > int64(s.MaxConns) {
+			s.noteActive(-1)
 			s.ctr.rejectedConns.Add(1)
 			s.Obs.Counter("srv_rejected_conns").Inc()
 			s.setWriteDeadline(conn)
@@ -456,9 +532,9 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 			return fmt.Errorf("server: rejected connection: limit %d reached", s.MaxConns)
 		}
 	} else {
-		s.active.Add(1)
+		s.noteActive(1)
 	}
-	defer s.active.Add(-1)
+	defer s.noteActive(-1)
 	s.setReadDeadline(conn)
 	msg, err := proto.ReadMessage(conn)
 	if err != nil {
@@ -492,6 +568,24 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 			return fmt.Errorf("server: resume geometry %dx%d for %q", r.Held.NumChunks, r.Held.NumTiles, r.VideoID)
 		}
 		held = &r.Held
+	case proto.MsgPing:
+		// Health probe (balancer or external checker): answer with a
+		// status pong and end the connection. The figure excludes the
+		// probe's own admission slot, so an idle server reports zero.
+		// A draining or saturated server never reaches here — admission
+		// busy-rejects first, which probers read as "alive but
+		// unroutable".
+		n := s.active.Load() - 1
+		if n < 0 {
+			n = 0
+		}
+		s.ctr.probes.Add(1)
+		s.Obs.Counter("srv_probes").Inc()
+		s.setWriteDeadline(conn)
+		if err := proto.WritePong(conn, proto.Pong{Draining: s.draining.Load(), ActiveConns: uint32(n)}); err != nil {
+			return fmt.Errorf("server: send pong: %w", err)
+		}
+		return nil
 	default:
 		return fmt.Errorf("server: expected hello, got type %d", msg.Type)
 	}
@@ -505,6 +599,8 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 	defer s.Obs.Counter("srv_conns_closed").Inc()
 
 	st := newSendState(m)
+	st.report = s.addQueuedBytes
+	defer st.releaseQueued()
 	if held != nil {
 		restored := st.preload(*held, m)
 		s.ctr.resumes.Add(1)

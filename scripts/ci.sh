@@ -25,6 +25,13 @@ fi
 go vet ./...
 go test -race -timeout 600s ./...
 
+# Fleet-chaos gate: the balancer + kill/cold-restart/drain proof runs once
+# more explicitly (and uncached) so a flake here is visible as its own
+# line, not buried in the suite. The seeded run asserts zero duplicate
+# primary sends fleet-wide and dead-member detection inside the probe
+# budget.
+go test -race -run '^TestFleetChaos$' -count=1 -timeout 120s ./internal/experiments
+
 # Fuzz smoke: ten seconds per wire-format parser. The v3 framing work
 # (CRC trailers, hard length cap, resume bitmaps) lives or dies on these
 # parsers rejecting hostile bytes without panicking or over-allocating.
