@@ -326,11 +326,19 @@ func (s *session) reportFatal(err error) {
 // state; id identifies the connection so a stale receiver cannot report an
 // outage for a link that has already been replaced.
 func (s *session) receiver(conn net.Conn, id int) {
+	// rbuf is this receiver's recycled frame-body buffer
+	// (proto.ReadMessageBuf): after the first large tile it makes the
+	// steady-state read path allocation-free. Nothing below outlives one
+	// iteration holding msg — the payload is checksummed, measured, and
+	// recorded by value, never retained.
+	var rbuf []byte
 	for {
 		if s.rp.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.rp.ReadTimeout))
 		}
-		msg, err := proto.ReadMessage(conn)
+		var msg *proto.Message
+		var err error
+		msg, rbuf, err = proto.ReadMessageBuf(conn, rbuf)
 		if err != nil {
 			if errors.Is(err, proto.ErrChecksum) {
 				// A corrupted frame desynchronizes the stream; tear the link

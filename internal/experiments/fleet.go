@@ -15,6 +15,7 @@ import (
 	"dragonfly/internal/obs"
 	"dragonfly/internal/player"
 	"dragonfly/internal/server"
+	"dragonfly/internal/store"
 	"dragonfly/internal/trace"
 	"dragonfly/internal/video"
 )
@@ -228,6 +229,11 @@ func extFleetChaos(_ *Env, w io.Writer, p FleetChaosParams) (FleetChaosOutcome, 
 		ID: "fleet", Rows: 6, Cols: 6, NumChunks: p.Chunks,
 		TargetQP42Mbps: 0.8, TargetQP22Mbps: 6, Seed: 77,
 	})
+	// Pre-warm the shared tile store once before the fleet fans out — the
+	// same pattern as sim's table pre-warm: every backend (and every
+	// cold-restarted instance) then serves from the already-built frames
+	// instead of paying the per-manifest CRC framing cost inside the run.
+	store.Shared(m)
 	videoDur := time.Duration(p.Chunks) * time.Second
 	link := netem.Link{Trace: &trace.BandwidthTrace{SamplePeriod: time.Second, Mbps: []float64{16}}}
 

@@ -64,3 +64,52 @@ func benchFrameRead(b *testing.B, withCRC bool) {
 
 func BenchmarkFrameReadCRC(b *testing.B)   { benchFrameRead(b, true) }
 func BenchmarkFrameReadNoCRC(b *testing.B) { benchFrameRead(b, false) }
+
+// BenchmarkFrameWritePreframed measures the steady-state send cost once a
+// tile is pre-framed: three buffer writes, no serialization, no CRC. This
+// is the per-send work the store-backed server does, against
+// BenchmarkFrameWriteCRC's per-send framing it replaces.
+func BenchmarkFrameWritePreframed(b *testing.B) {
+	td := benchTile()
+	head := make([]byte, TileHeadSize)
+	trailer := make([]byte, TileTrailerSize)
+	if err := PreframeTile(head, trailer, td.Item, td.Payload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(itemWireSize + len(td.Payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := io.Discard.Write(head); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Discard.Write(td.Payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Discard.Write(trailer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameReadReuse measures the pooled read path: the same tile
+// frame read repeatedly through ReadMessageBuf with a recycled body
+// buffer, against BenchmarkFrameReadCRC's allocate-per-read baseline.
+func BenchmarkFrameReadReuse(b *testing.B) {
+	var wire bytes.Buffer
+	td := benchTile()
+	if err := WriteTileData(&wire, td); err != nil {
+		b.Fatal(err)
+	}
+	frame := wire.Bytes()
+	r := bytes.NewReader(frame)
+	var buf []byte
+	b.SetBytes(int64(itemWireSize + len(td.Payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		var err error
+		if _, buf, err = ReadMessageBuf(r, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

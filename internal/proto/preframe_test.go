@@ -1,0 +1,198 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"dragonfly/internal/player"
+)
+
+// writeRecorder counts Write calls and keeps the bytes, to pin the
+// one-write-per-frame atomicity contract.
+type writeRecorder struct {
+	bytes.Buffer
+	calls int
+}
+
+func (w *writeRecorder) Write(p []byte) (int, error) {
+	w.calls++
+	return w.Buffer.Write(p)
+}
+
+// TestWriteFrameSingleWrite pins the torn-frame fix: every framed write
+// reaches the connection as exactly one Write call, so a frame can never
+// interleave mid-stream on a conn that serializes Writes. (The wider
+// contract — one writer goroutine per direction — is documented on the
+// package.)
+func TestWriteFrameSingleWrite(t *testing.T) {
+	var rec writeRecorder
+	if err := WriteHello(&rec, Hello{VideoID: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.calls != 1 {
+		t.Fatalf("WriteHello used %d Write calls, want 1", rec.calls)
+	}
+	rec.calls = 0
+	rec.Reset()
+	td := TileData{
+		Item:    player.RequestItem{Stream: player.Primary, Chunk: 2, Tile: 7, Quality: 1},
+		Payload: bytes.Repeat([]byte{0xA5}, 4096),
+	}
+	if err := WriteTileData(&rec, td); err != nil {
+		t.Fatal(err)
+	}
+	if rec.calls != 1 {
+		t.Fatalf("WriteTileData used %d Write calls, want 1", rec.calls)
+	}
+	msg, err := ReadMessage(bytes.NewReader(rec.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgTileData || msg.TileData.Item != td.Item || !bytes.Equal(msg.TileData.Payload, td.Payload) {
+		t.Fatalf("single-write frame did not round-trip")
+	}
+}
+
+// TestPreframeTileMatchesWriteTileData proves head || payload || trailer
+// is byte-identical to the stream WriteTileData emits — the equivalence
+// the store's serve-by-reference path rests on — across payload sizes
+// including empty.
+func TestPreframeTileMatchesWriteTileData(t *testing.T) {
+	items := []player.RequestItem{
+		{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 0},
+		{Stream: player.Masking, Chunk: 3, Tile: 15, Quality: 4},
+		{Stream: player.Masking, Chunk: 7, Full360: true, Quality: 2},
+	}
+	for _, it := range items {
+		for _, size := range []int{0, 1, 1000, 128 << 10} {
+			payload := bytes.Repeat([]byte{0xC3}, size)
+			head := make([]byte, TileHeadSize)
+			trailer := make([]byte, TileTrailerSize)
+			if err := PreframeTile(head, trailer, it, payload); err != nil {
+				t.Fatalf("PreframeTile %+v size %d: %v", it, size, err)
+			}
+			var got bytes.Buffer
+			got.Write(head)
+			got.Write(payload)
+			got.Write(trailer)
+			var want bytes.Buffer
+			if err := WriteTileData(&want, TileData{Item: it, Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("pre-framed bytes differ from WriteTileData for %+v size %d", it, size)
+			}
+		}
+	}
+}
+
+// TestPreframeTileRejectsBadSizes covers the error paths: short buffers
+// and over-cap frames.
+func TestPreframeTileRejectsBadSizes(t *testing.T) {
+	it := player.RequestItem{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 0}
+	if err := PreframeTile(make([]byte, TileHeadSize-1), make([]byte, TileTrailerSize), it, nil); err == nil {
+		t.Fatal("short head accepted")
+	}
+	if err := PreframeTile(make([]byte, TileHeadSize), make([]byte, TileTrailerSize-1), it, nil); err == nil {
+		t.Fatal("short trailer accepted")
+	}
+	head := make([]byte, TileHeadSize)
+	trailer := make([]byte, TileTrailerSize)
+	if err := PreframeTile(head, trailer, it, make([]byte, MaxFrameSize)); err == nil {
+		t.Fatal("over-cap payload accepted")
+	}
+	for _, b := range head {
+		if b != 0 {
+			t.Fatal("failed PreframeTile wrote into head; store relies on the zeroed-head sentinel")
+		}
+	}
+}
+
+// TestReadMessageBufReusesBuffer pins the pooled read path's ownership
+// contract: the returned buffer is reused across calls once grown, and
+// the message's payload aliases it.
+func TestReadMessageBufReusesBuffer(t *testing.T) {
+	var wire bytes.Buffer
+	td := TileData{
+		Item:    player.RequestItem{Stream: player.Primary, Chunk: 1, Tile: 2, Quality: 3},
+		Payload: bytes.Repeat([]byte{0x11}, 64<<10),
+	}
+	const frames = 4
+	for i := 0; i < frames; i++ {
+		if err := WriteTileData(&wire, td); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(wire.Bytes())
+	var buf []byte
+	var lastCap int
+	for i := 0; i < frames; i++ {
+		var msg *Message
+		var err error
+		msg, buf, err = ReadMessageBuf(r, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if msg.Type != MsgTileData || !bytes.Equal(msg.TileData.Payload, td.Payload) {
+			t.Fatalf("frame %d: wrong message", i)
+		}
+		if i > 0 && cap(buf) != lastCap {
+			t.Fatalf("frame %d: buffer not reused (cap %d -> %d)", i, lastCap, cap(buf))
+		}
+		lastCap = cap(buf)
+	}
+}
+
+// TestReadMessageBufAllocs pins the FrameRead allocation fix: with a
+// warmed buffer, reading a 128 KB tile frame allocates only the
+// fixed-size message structs — the ~147 KB/op body churn is gone.
+func TestReadMessageBufAllocs(t *testing.T) {
+	var wire bytes.Buffer
+	td := TileData{
+		Item:    player.RequestItem{Stream: player.Primary, Chunk: 1, Tile: 2, Quality: 3},
+		Payload: bytes.Repeat([]byte{0x22}, 128<<10),
+	}
+	if err := WriteTileData(&wire, td); err != nil {
+		t.Fatal(err)
+	}
+	frame := wire.Bytes()
+	r := bytes.NewReader(frame)
+	var buf []byte
+	var msg *Message
+	var err error
+	if msg, buf, err = ReadMessageBuf(r, buf); err != nil || msg.Type != MsgTileData {
+		t.Fatalf("warm-up read: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset(frame)
+		msg, buf, err = ReadMessageBuf(r, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Only fixed-cost allocations remain: the Message and TileData
+	// descriptors plus the 5-byte header and 4-byte trailer scratches
+	// (stack arrays that escape through io.ReadFull's interface call).
+	// The variable-size body buffer must not be among them —
+	// TestReadMessageBufReusesBuffer pins that it is recycled.
+	if allocs > 4 {
+		t.Fatalf("ReadMessageBuf allocates %.1f/op with a warm buffer, want <= 4 fixed-size", allocs)
+	}
+}
+
+// TestReadMessageBufChecksum keeps the pooled path honest about
+// integrity: a flipped payload bit still fails the frame trailer.
+func TestReadMessageBufChecksum(t *testing.T) {
+	var wire bytes.Buffer
+	if err := WriteTileData(&wire, TileData{
+		Item:    player.RequestItem{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 0},
+		Payload: bytes.Repeat([]byte{0x33}, 1024),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	frame := wire.Bytes()
+	frame[TileHeadSize+100] ^= 0x01
+	if _, _, err := ReadMessageBuf(bytes.NewReader(frame), nil); err != ErrChecksum {
+		t.Fatalf("corrupt frame returned %v, want ErrChecksum", err)
+	}
+}

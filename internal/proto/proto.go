@@ -10,6 +10,13 @@
 // as a clean integrity error instead of decoded garbage. Bodies use
 // fixed-width big-endian integers; the manifest travels as JSON (it is
 // sent once per session).
+//
+// Writer contract: every frame goes out as a single Write call (or one
+// vectored net.Buffers write for pre-framed tiles), so a frame is atomic
+// on any conn that serializes Write calls — but frame ORDER across
+// writers is not. Each connection direction must have exactly one writer
+// goroutine; that is how the server (one tile sender per conn) and the
+// client (one request writer) are structured.
 package proto
 
 import (
@@ -78,6 +85,24 @@ const MaxFrameSize = 64 << 20
 
 // trailerSize is the width of the CRC32-C frame trailer.
 const trailerSize = 4
+
+// frameHeaderSize is the width of the frame header: 4-byte big-endian
+// length prefix plus the 1-byte message type.
+const frameHeaderSize = 5
+
+// Pre-framed tile layout: a MsgTileData frame splits into a fixed-size head
+// (frame header + encoded item), the payload, and the CRC trailer, so an
+// immutable tile store can keep the head and trailer per variant and serve
+// the frame by reference with vectored I/O (see PreframeTile).
+const (
+	// TileHeadSize is the byte width of a pre-framed tile head.
+	TileHeadSize = frameHeaderSize + itemWireSize
+	// TileTrailerSize is the byte width of a pre-framed tile trailer.
+	TileTrailerSize = trailerSize
+	// TileFrameOverhead is the fixed wire overhead of one MsgTileData
+	// frame beyond its payload bytes.
+	TileFrameOverhead = TileHeadSize + TileTrailerSize
+)
 
 // castagnoli is the CRC32-C table shared by frame trailers and tile
 // payload checksums (hardware-accelerated on amd64/arm64).
@@ -174,32 +199,60 @@ func writeFrame(w io.Writer, t MsgType, body []byte) error {
 // writeFrameChecked is the framing core; withCRC false emits the legacy
 // wire-v2 layout (no trailer), kept for the compatibility tests and the
 // checksum-overhead benchmark.
+//
+// The whole frame — header, body, trailer — is assembled in one buffer and
+// emitted with a single Write call. The earlier three-write layout could
+// tear a frame mid-stream if two goroutines ever wrote to the same conn:
+// net.Conn serializes individual Write calls but promises nothing across
+// them. The single write makes each frame atomic on any conn that
+// serializes Writes; the package contract is still one writer goroutine
+// per connection direction (the server's tile sender, the client's
+// request writer) — concurrent writers would interleave whole frames in
+// an order the generation numbers must then sort out.
 func writeFrameChecked(w io.Writer, t MsgType, body []byte, withCRC bool) error {
 	if len(body)+1 > MaxFrameSize {
 		return fmt.Errorf("proto: frame too large (%d bytes)", len(body))
 	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
-	hdr[4] = byte(t)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("proto: write header: %w", err)
+	n := frameHeaderSize + len(body)
+	if withCRC {
+		n += trailerSize
 	}
-	// Skip the body write for empty frames (Bye, Ping): a zero-length
-	// Write on a net.Pipe blocks waiting for a reader rendezvous.
-	if len(body) > 0 {
-		if _, err := w.Write(body); err != nil {
-			return fmt.Errorf("proto: write body: %w", err)
-		}
+	frame := make([]byte, n)
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)+1))
+	frame[4] = byte(t)
+	copy(frame[frameHeaderSize:], body)
+	if withCRC {
+		sum := crc32.Checksum(frame[4:frameHeaderSize+len(body)], castagnoli)
+		binary.BigEndian.PutUint32(frame[frameHeaderSize+len(body):], sum)
 	}
-	if !withCRC {
-		return nil
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("proto: write frame: %w", err)
 	}
-	sum := crc32.Update(crc32.Checksum(hdr[4:5], castagnoli), castagnoli, body)
-	var trailer [trailerSize]byte
-	binary.BigEndian.PutUint32(trailer[:], sum)
-	if _, err := w.Write(trailer[:]); err != nil {
-		return fmt.Errorf("proto: write checksum: %w", err)
+	return nil
+}
+
+// PreframeTile fills head[:TileHeadSize] with the frame header and encoded
+// item, and trailer[:TileTrailerSize] with the CRC32-C frame trailer, of
+// the MsgTileData frame carrying payload. The concatenation
+// head || payload || trailer is byte-identical to the stream WriteTileData
+// produces, so a pre-framed tile can be served by reference (net.Buffers)
+// with zero per-send serialization or checksum work. internal/store builds
+// one such frame per tile variant at manifest load; the CRC — the ~30x
+// cost of a framed write (BenchmarkFrameWriteCRC) — is paid exactly once
+// per variant there instead of once per send.
+func PreframeTile(head, trailer []byte, it player.RequestItem, payload []byte) error {
+	if len(head) < TileHeadSize || len(trailer) < TileTrailerSize {
+		return fmt.Errorf("proto: preframe buffers too small (%d/%d bytes)", len(head), len(trailer))
 	}
+	if 1+itemWireSize+len(payload) > MaxFrameSize {
+		return fmt.Errorf("proto: frame too large (%d bytes)", itemWireSize+len(payload))
+	}
+	binary.BigEndian.PutUint32(head[:4], uint32(1+itemWireSize+len(payload)))
+	head[4] = byte(MsgTileData)
+	encodeItem(head[frameHeaderSize:TileHeadSize], it)
+	sum := crc32.Checksum(head[4:TileHeadSize], castagnoli)
+	sum = crc32.Update(sum, castagnoli, payload)
+	binary.BigEndian.PutUint32(trailer[:TileTrailerSize], sum)
 	return nil
 }
 
@@ -217,7 +270,14 @@ func readFrame(r io.Reader) (MsgType, []byte, error) {
 // readFrameChecked is the de-framing core; withCRC false reads the legacy
 // wire-v2 layout.
 func readFrameChecked(r io.Reader, withCRC bool) (MsgType, []byte, error) {
-	var hdr [5]byte
+	return readFrameInto(r, nil, withCRC)
+}
+
+// readFrameInto reads one framed message, reusing buf for the body when its
+// capacity suffices (a nil buf always allocates). The returned body aliases
+// buf (or replaces it when grown); the caller owns exactly one of the two.
+func readFrameInto(r io.Reader, buf []byte, withCRC bool) (MsgType, []byte, error) {
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -230,7 +290,7 @@ func readFrameChecked(r io.Reader, withCRC bool) (MsgType, []byte, error) {
 		// attacker-controlled (or one bit flip away from absurd).
 		return 0, nil, fmt.Errorf("proto: frame length %d: %w", n, ErrFrameTooLarge)
 	}
-	body, err := readBody(r, int(n-1))
+	body, err := readBody(r, buf, int(n-1))
 	if err != nil {
 		return 0, nil, fmt.Errorf("proto: read body: %w", err)
 	}
@@ -247,17 +307,26 @@ func readFrameChecked(r io.Reader, withCRC bool) (MsgType, []byte, error) {
 	return MsgType(hdr[4]), body, nil
 }
 
-// readBody reads exactly n body bytes, growing the buffer chunk by chunk
-// so allocation tracks delivery, not the declared length.
-func readBody(r io.Reader, n int) ([]byte, error) {
-	if n <= readChunk {
-		body := make([]byte, n)
-		if _, err := io.ReadFull(r, body); err != nil {
+// readBody reads exactly n body bytes into buf (reallocating when it is too
+// small), growing the buffer chunk by chunk so allocation tracks delivery,
+// not the declared length.
+func readBody(r io.Reader, buf []byte, n int) ([]byte, error) {
+	if cap(buf) >= n || n <= readChunk {
+		// The buffer already fits the declared length (nothing speculative
+		// about filling it), or the length is within one chunk of trust.
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, err
 		}
-		return body, nil
+		return buf, nil
 	}
-	body := make([]byte, 0, readChunk)
+	if cap(buf) < readChunk {
+		buf = make([]byte, 0, readChunk)
+	}
+	body := buf[:0]
 	for len(body) < n {
 		c := n - len(body)
 		if c > readChunk {
@@ -378,12 +447,21 @@ func parseRequest(body []byte) (Request, error) {
 	return r, nil
 }
 
-// WriteTileData sends one delivered tile with its payload.
+// WriteTileData sends one delivered tile with its payload. The frame is
+// assembled in a single buffer and emitted with one Write (the same
+// torn-frame guarantee as writeFrameChecked); the server's steady-state
+// send path avoids even this one serialization by serving pre-framed
+// buffers from internal/store instead.
 func WriteTileData(w io.Writer, td TileData) error {
-	body := make([]byte, itemWireSize+len(td.Payload))
-	encodeItem(body, td.Item)
-	copy(body[itemWireSize:], td.Payload)
-	return writeFrame(w, MsgTileData, body)
+	frame := make([]byte, TileFrameOverhead+len(td.Payload))
+	if err := PreframeTile(frame[:TileHeadSize], frame[len(frame)-TileTrailerSize:], td.Item, td.Payload); err != nil {
+		return err
+	}
+	copy(frame[TileHeadSize:], td.Payload)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("proto: write frame: %w", err)
+	}
+	return nil
 }
 
 func parseTileData(body []byte) (TileData, error) {
@@ -489,12 +567,49 @@ type Message struct {
 	Error    string
 }
 
-// ReadMessage reads and decodes the next frame.
+// ReadMessage reads and decodes the next frame. The frame body is freshly
+// allocated, so the returned message owns its memory; loops on the tile
+// hot path should prefer ReadMessageBuf.
 func ReadMessage(r io.Reader) (*Message, error) {
 	t, body, err := readFrame(r)
 	if err != nil {
 		return nil, err
 	}
+	return decodeMessage(t, body)
+}
+
+// ReadMessageBuf reads and decodes the next frame like ReadMessage, but
+// reads the frame body into buf (growing it as needed) instead of a fresh
+// allocation, and returns the buffer to pass to the next call.
+//
+// Ownership contract: the returned Message aliases the returned buffer —
+// TileData.Payload and the Resume.Held bitmaps point directly into it — so
+// the message and anything it references are valid only until
+// the buffer is passed to ReadMessageBuf again. A buffer belongs to exactly
+// one reader loop; never share one across connections or goroutines.
+// Callers that retain body-derived state across frames (the resume
+// handshake's held summary) must use ReadMessage or copy first.
+//
+// This is the pooled-read fix for the tile hot path: a steady-state frame
+// read costs a few fixed-size allocations (the Message and payload
+// descriptors plus header/trailer scratch) instead of re-allocating the
+// body (~147 KB/op for a typical tile frame, the pre-fix
+// BenchmarkFrameReadCRC figure).
+func ReadMessageBuf(r io.Reader, buf []byte) (*Message, []byte, error) {
+	t, body, err := readFrameInto(r, buf, true)
+	if err != nil {
+		return nil, buf, err
+	}
+	msg, err := decodeMessage(t, body)
+	if cap(body) > cap(buf) {
+		buf = body[:0]
+	}
+	return msg, buf, err
+}
+
+// decodeMessage parses one de-framed message body. The result may alias
+// body; readers reusing body buffers own the aliasing contract.
+func decodeMessage(t MsgType, body []byte) (*Message, error) {
 	msg := &Message{Type: t}
 	switch t {
 	case MsgHello:

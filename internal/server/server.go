@@ -27,6 +27,7 @@ import (
 	"dragonfly/internal/obs"
 	"dragonfly/internal/player"
 	"dragonfly/internal/proto"
+	"dragonfly/internal/store"
 	"dragonfly/internal/video"
 )
 
@@ -39,6 +40,11 @@ const DefaultMaxQueue = 4096
 // Server serves a library of video manifests.
 type Server struct {
 	manifests map[string]*video.Manifest
+	// stores holds the pre-framed wire buffers per video, built once at
+	// manifest load (New) and shared process-wide across servers and
+	// sessions: the steady-state send path serves these by reference with
+	// zero per-send serialization or CRC work.
+	stores map[string]*store.Store
 	// Logf receives per-connection diagnostics; nil silences logging.
 	Logf func(format string, args ...any)
 
@@ -201,11 +207,19 @@ func (s *Server) addQueuedBytes(delta int64) {
 // live fetch queues.
 func (s *Server) QueuedBytes() int64 { return s.queuedBytes.Load() }
 
-// New creates a server for the given videos.
+// New creates a server for the given videos. It warms the shared tile
+// store for each manifest here, at load time, so the per-manifest CRC
+// framing cost is paid once per process — a cold-restarted server in the
+// same process (the crash tests, the fleet balancer's respawns) reuses
+// the already-built frames.
 func New(manifests ...*video.Manifest) *Server {
-	s := &Server{manifests: make(map[string]*video.Manifest, len(manifests))}
+	s := &Server{
+		manifests: make(map[string]*video.Manifest, len(manifests)),
+		stores:    make(map[string]*store.Store, len(manifests)),
+	}
 	for _, m := range manifests {
 		s.manifests[m.VideoID] = m
+		s.stores[m.VideoID] = store.Shared(m)
 	}
 	return s
 }
@@ -246,6 +260,15 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	// keys it would have to treat as stale data.
 	s.noteActive(0)
 	s.addQueuedBytes(0)
+	// srv_store_bytes is the resident footprint of the shared tile
+	// stores — the process-wide cost of serving these manifests to any
+	// number of sessions. It is distinct from srv_queue_bytes, which
+	// counts pending transmission over shared (not duplicated) buffers.
+	var storeBytes int64
+	for _, ts := range s.stores {
+		storeBytes += ts.MemoryBytes()
+	}
+	s.Obs.Gauge("srv_store_bytes").Set(float64(storeBytes))
 	if s.draining.Load() {
 		s.Obs.Gauge("srv_draining").Set(1)
 	} else {
@@ -375,6 +398,17 @@ func shedQueue(items []player.RequestItem, max int, maxBytes int64, m *video.Man
 				byteBudget -= safeSize(it, m)
 			}
 		}
+	}
+	// Masking alone may overrun either cap (it is never shed). Clamp the
+	// remaining budgets at zero: a negative byte budget would otherwise
+	// fail even the zero-size comparison below and shed malformed items
+	// that the contract says always fit the BYTE budget (next() drops
+	// them for free; they must not burn shed accounting as real tiles).
+	if countBudget < 0 {
+		countBudget = 0
+	}
+	if byteBudget < 0 {
+		byteBudget = 0
 	}
 	kept := make([]player.RequestItem, 0, len(items))
 	var shedBytes int64
@@ -619,12 +653,19 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 	}
 
 	// Request reader: installs each new fetch list until the client leaves.
+	// The frame body buffer is owned by this loop and recycled across
+	// reads (proto.ReadMessageBuf); nothing below retains the message past
+	// one iteration — the item slice install keeps is decoded into fresh
+	// memory by the proto layer, not aliased into the frame body.
 	readErr := make(chan error, 1)
 	go func() {
 		defer st.close()
+		var rbuf []byte
 		for {
 			s.setReadDeadline(conn)
-			msg, err := proto.ReadMessage(conn)
+			var msg *proto.Message
+			var err error
+			msg, rbuf, err = proto.ReadMessageBuf(conn, rbuf)
 			if err != nil {
 				if errors.Is(err, proto.ErrChecksum) {
 					s.ctr.corruptFrames.Add(1)
@@ -657,9 +698,29 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 		heartbeat = DefaultHeartbeat
 	}
 
-	// Tile sender: drains the queue; payload bytes are synthetic (the
-	// manifest declares the size; content is irrelevant to scheduling).
-	var payload []byte
+	// Tile sender: drains the queue by reference from the shared tile
+	// store. A send appends pre-framed (head, payload, trailer) slices to
+	// a scratch net.Buffers and flushes the batch with one vectored
+	// write — zero per-send serialization or CRC work, zero per-session
+	// payload memory. Batching is bounded so one slow client holds at
+	// most one batch's worth of deadline, and a new (superseding) request
+	// takes effect at the next batch boundary.
+	tileStore := s.stores[m.VideoID]
+	const (
+		maxBatchFrames = 32
+		maxBatchBytes  = 1 << 20
+	)
+	var (
+		// scratch accumulates the batch; wire is the slice-header copy the
+		// vectored write consumes (net.Buffers.WriteTo reslices the value
+		// it runs on to zero capacity — writing through a copy keeps
+		// scratch's backing array reusable across batches).
+		scratch = make(net.Buffers, 0, 3*maxBatchFrames)
+		wire    net.Buffers
+		batch   = make([]player.RequestItem, 0, maxBatchFrames)
+		sizes   = make([]int64, 0, maxBatchFrames) // payload bytes per frame
+		ends    = make([]int64, 0, maxBatchFrames) // cumulative wire offsets
+	)
 	var idle *time.Timer
 	defer func() {
 		if idle != nil {
@@ -697,29 +758,67 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 			}
 			continue
 		}
-		size := it.Size(m)
-		if int64(len(payload)) < size {
-			payload = make([]byte, size)
+		// Gather: the popped item plus whatever is immediately sendable,
+		// up to the batch caps. Items the store cannot serve (beyond the
+		// frame cap, or a full-360° requested on the primary stream) are
+		// skipped, mirroring next()'s treatment of malformed entries.
+		scratch = scratch[:0]
+		batch = batch[:0]
+		sizes = sizes[:0]
+		ends = ends[:0]
+		var wireBytes int64
+		drained := false
+		for {
+			if bufs, fsize, okf := tileStore.AppendFrame(scratch, it); okf {
+				scratch = bufs
+				wireBytes += fsize
+				batch = append(batch, it)
+				sizes = append(sizes, fsize-proto.TileFrameOverhead)
+				ends = append(ends, wireBytes)
+			}
+			if len(batch) >= maxBatchFrames || wireBytes >= maxBatchBytes {
+				break
+			}
+			if it, ok, done = st.next(m); !ok {
+				drained = done
+				break
+			}
 		}
-		s.setWriteDeadline(conn)
-		if err := proto.WriteTileData(conn, proto.TileData{Item: it, Payload: payload[:size]}); err != nil {
-			st.close()
-			return fmt.Errorf("server: send tile: %w", err)
+		if len(batch) > 0 {
+			s.setWriteDeadline(conn)
+			wire = scratch
+			n, err := wire.WriteTo(conn)
+			// Credit only frames the connection fully accepted; on a
+			// partial write the torn tail was never delivered, and the
+			// dedup invariants the chaos tests pin are send upper bounds.
+			sent := 0
+			for sent < len(ends) && ends[sent] <= n {
+				sent++
+			}
+			for i := 0; i < sent; i++ {
+				switch fr := batch[i]; {
+				case fr.Stream == player.Primary:
+					s.ctr.primarySent.Add(1)
+					co.primary.Inc()
+				case fr.Full360:
+					s.ctr.maskFullSent.Add(1)
+					co.maskFull.Inc()
+				default:
+					s.ctr.maskTileSent.Add(1)
+					co.maskTile.Inc()
+				}
+				s.ctr.bytesSent.Add(sizes[i])
+				co.bytes.Add(sizes[i])
+				co.tileBytes.Observe(float64(sizes[i]))
+			}
+			if err != nil {
+				st.close()
+				return fmt.Errorf("server: send tile: %w", err)
+			}
 		}
-		switch {
-		case it.Stream == player.Primary:
-			s.ctr.primarySent.Add(1)
-			co.primary.Inc()
-		case it.Full360:
-			s.ctr.maskFullSent.Add(1)
-			co.maskFull.Inc()
-		default:
-			s.ctr.maskTileSent.Add(1)
-			co.maskTile.Inc()
+		if drained {
+			break
 		}
-		s.ctr.bytesSent.Add(size)
-		co.bytes.Add(size)
-		co.tileBytes.Observe(float64(size))
 	}
 	// Best-effort goodbye: on graceful drain it tells the client the
 	// remaining queue has been flushed and nothing more is coming.

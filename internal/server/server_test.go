@@ -2,11 +2,14 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
+	"dragonfly/internal/geom"
 	"dragonfly/internal/player"
 	"dragonfly/internal/proto"
 	"dragonfly/internal/video"
@@ -634,6 +637,117 @@ func TestShedQueueMalformedItemsShedAsZeroBytes(t *testing.T) {
 	if len(kept) != 2 {
 		// Zero-size items always fit the byte budget; next() drops them.
 		t.Fatalf("kept = %+v", kept)
+	}
+}
+
+func TestShedQueueMaskingOverBudgetClampsAtZero(t *testing.T) {
+	m := testManifest()
+	mask := player.RequestItem{Stream: player.Masking, Chunk: 0, Full360: true, Quality: video.NumQualities - 1}
+	zero := player.RequestItem{Stream: player.Primary, Chunk: 999, Tile: 0, Quality: 1} // out of range: zero bytes
+	// The masking entry alone overruns the byte budget (it is never shed),
+	// driving the remaining primary byte budget NEGATIVE before the fix.
+	// The zero-size primary must still ride along — zero-size items always
+	// fit the byte budget (TestShedQueueMalformedItemsShedAsZeroBytes) and
+	// next() drops them for free; un-clamped, the negative budget shed it
+	// and mis-counted it as a real shed decision.
+	if mask.Size(m) <= 1 {
+		t.Fatalf("masking item too small to overrun the budget: %d", mask.Size(m))
+	}
+	kept, shed, shedBytes := shedQueue([]player.RequestItem{mask, zero}, 10, 1, m)
+	if len(kept) != 2 || shed != 0 || shedBytes != 0 {
+		t.Fatalf("kept=%d shed=%d bytes=%d, want both items kept (negative budget not clamped)",
+			len(kept), shed, shedBytes)
+	}
+	// Real primaries still cannot squeeze past an exhausted budget.
+	prim := player.RequestItem{Stream: player.Primary, Chunk: 0, Tile: 0, Quality: 1}
+	kept, shed, _ = shedQueue([]player.RequestItem{mask, prim}, 10, 1, m)
+	if len(kept) != 1 || shed != 1 {
+		t.Fatalf("kept=%d shed=%d, want the primary shed under an exhausted budget", len(kept), shed)
+	}
+}
+
+// TestManyConnsSharedStore streams the same video to many concurrent
+// sessions of one server — every sender serving by reference from the one
+// shared tile store — and verifies each session receives every requested
+// tile with the exact manifest size and the requested stream kind. Run
+// under -race this pins that the zero-copy send path shares frames across
+// connections without synchronization bugs.
+func TestManyConnsSharedStore(t *testing.T) {
+	m := testManifest()
+	s := New(m)
+	const sessions = 8
+	tiles := m.NumTiles()
+
+	var items []player.RequestItem
+	for tl := 0; tl < tiles; tl++ {
+		items = append(items, player.RequestItem{Stream: player.Primary, Chunk: 0, Tile: geom.TileID(tl), Quality: 2})
+	}
+	for tl := 0; tl < tiles; tl++ {
+		items = append(items, player.RequestItem{Stream: player.Masking, Chunk: 1, Tile: geom.TileID(tl), Quality: 0})
+	}
+	items = append(items, player.RequestItem{Stream: player.Masking, Chunk: 2, Full360: true, Quality: 0})
+
+	errs := make(chan error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, srvConn := net.Pipe()
+			handlerDone := make(chan struct{})
+			// Wait for the handler to return before this session counts as
+			// finished: counter increments land after the client has read
+			// the frame (net.Pipe is a rendezvous), so a snapshot taken on
+			// receipt alone would race the accounting.
+			defer func() { <-handlerDone }()
+			defer client.Close()
+			go func() {
+				defer close(handlerDone)
+				defer srvConn.Close()
+				_ = s.HandleConn(srvConn)
+			}()
+			go func() { _ = proto.WriteHello(client, proto.Hello{VideoID: "srv"}) }()
+			msg, err := proto.ReadMessage(client)
+			if err != nil || msg.Type != proto.MsgManifest {
+				errs <- fmt.Errorf("manifest: %v", err)
+				return
+			}
+			go func() {
+				_ = proto.WriteRequest(client, proto.Request{Generation: 1, Items: items})
+			}()
+			got := make(map[player.RequestItem]int64, len(items))
+			for len(got) < len(items) {
+				msg, err := proto.ReadMessage(client)
+				if err != nil {
+					errs <- fmt.Errorf("read tile: %v", err)
+					return
+				}
+				switch msg.Type {
+				case proto.MsgTileData:
+					got[msg.TileData.Item] = int64(len(msg.TileData.Payload))
+				case proto.MsgPing:
+				default:
+					errs <- fmt.Errorf("unexpected message type %d", msg.Type)
+					return
+				}
+			}
+			for _, it := range items {
+				if got[it] != it.Size(m) {
+					errs <- fmt.Errorf("item %+v: got %d bytes, want %d", it, got[it], it.Size(m))
+					return
+				}
+			}
+			_ = proto.WriteBye(client)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ctr := s.Counters()
+	if ctr.PrimarySent != sessions*int64(tiles) || ctr.MaskTileSent != sessions*int64(tiles) || ctr.MaskFullSent != sessions {
+		t.Fatalf("counters %+v do not match %d sessions x full request", ctr, sessions)
 	}
 }
 

@@ -1,0 +1,241 @@
+// Package store implements the process-wide immutable tile store behind
+// the server's zero-copy send path (ROADMAP: "shared immutable tile store
+// + zero-copy send path"). At manifest load it pre-frames and
+// pre-checksums every MsgTileData wire frame the manifest can ever
+// produce — each (chunk, tile, quality) variant on both stream kinds,
+// plus the untiled full-360° masking variants — paying the CRC32-C
+// framing cost exactly once per frame instead of once per send. Sessions
+// then serve tiles by reference: a send is three slice headers appended
+// to a net.Buffers (head || payload || trailer) and one vectored write,
+// with zero per-send serialization or checksum work and zero
+// per-connection payload memory.
+//
+// Memory model: the store keeps proto.TileFrameOverhead (20) bytes per
+// frame — the head and CRC trailer — plus ONE shared payload slab sized
+// to the largest variant. Payload bytes are synthetic zeros: the
+// schedulers only ever consume tile SIZES from the manifest, and the
+// manifest's payload checksums are computed over the same zero bytes
+// (video.Generate), so the pre-framed trailer and the client's payload
+// verification agree bit for bit. A deployment serving real encoded tiles
+// would hold one payload slab per variant; heads, trailers, and the
+// serve-by-reference path are unchanged.
+//
+// Everything in a Store is immutable after New returns, so any number of
+// connection handlers may read it concurrently without synchronization;
+// Shared deduplicates stores process-wide per manifest, the same pattern
+// as geom.SharedTable and quality.Scores.
+package store
+
+import (
+	"net"
+	"sync"
+
+	"dragonfly/internal/geom"
+	"dragonfly/internal/player"
+	"dragonfly/internal/proto"
+	"dragonfly/internal/video"
+)
+
+// Store holds the pre-framed wire buffers of every tile frame of one
+// manifest. It is immutable after construction; see the package comment.
+type Store struct {
+	m     *video.Manifest
+	tiles int
+
+	// heads and trailers are flat per-frame slabs: frame i owns
+	// heads[i*TileHeadSize:(i+1)*TileHeadSize] and the matching trailer
+	// window. The head encodes the full wire item — including its Stream
+	// kind, which the client uses to record primary vs masking — so tiled
+	// variants hold one frame per stream kind. Layout: primary tiled
+	// frames first ((chunk*tiles+tile)*Q+q), then the masking tiled
+	// frames (+tiledCount), then the full-360° masking frames
+	// (2*tiledCount + chunk*Q + q).
+	heads    []byte
+	trailers []byte
+
+	// payload is the shared zero slab every frame's payload is cut from.
+	payload []byte
+}
+
+// New builds the store for a manifest, pre-framing every frame. This is
+// the warm-up cost of a manifest load: one CRC32-C pass over each frame's
+// payload length (hardware-accelerated; see docs/PERFORMANCE.md for the
+// cost model). A variant whose frame would exceed proto.MaxFrameSize —
+// impossible to send on this wire at all — is left unbuilt, and
+// AppendFrame reports it as out of range so senders skip it instead of
+// tearing the session down mid-stream.
+func New(m *video.Manifest) *Store {
+	tiles := m.NumTiles()
+	nv := 2*m.NumChunks*tiles*video.NumQualities + m.NumChunks*video.NumQualities
+	s := &Store{
+		m:        m,
+		tiles:    tiles,
+		heads:    make([]byte, nv*proto.TileHeadSize),
+		trailers: make([]byte, nv*proto.TileTrailerSize),
+	}
+	var maxSize int64
+	forEachFrame(m, func(_ int, it player.RequestItem) {
+		if size := it.Size(m); size > maxSize {
+			maxSize = size
+		}
+	})
+	s.payload = make([]byte, maxSize)
+	forEachFrame(m, func(i int, it player.RequestItem) {
+		head := s.heads[i*proto.TileHeadSize : (i+1)*proto.TileHeadSize]
+		trailer := s.trailers[i*proto.TileTrailerSize : (i+1)*proto.TileTrailerSize]
+		// An oversized variant leaves its head zeroed (a tile frame head
+		// always carries the nonzero MsgTileData type byte), which locate
+		// treats as absent.
+		_ = proto.PreframeTile(head, trailer, it, s.payload[:it.Size(m)])
+	})
+	return s
+}
+
+// forEachFrame enumerates every sendable wire frame of the manifest in
+// store index order: all tiled (chunk, tile, quality) triples as primary,
+// the same triples as masking, then the untiled full-360° (chunk,
+// quality) pairs (masking by definition).
+func forEachFrame(m *video.Manifest, f func(i int, it player.RequestItem)) {
+	tiles := m.NumTiles()
+	i := 0
+	for _, stream := range []player.StreamKind{player.Primary, player.Masking} {
+		for c := 0; c < m.NumChunks; c++ {
+			for t := 0; t < tiles; t++ {
+				for q := video.Quality(0); q < video.NumQualities; q++ {
+					f(i, player.RequestItem{Stream: stream, Chunk: c, Tile: geom.TileID(t), Quality: q})
+					i++
+				}
+			}
+		}
+	}
+	for c := 0; c < m.NumChunks; c++ {
+		for q := video.Quality(0); q < video.NumQualities; q++ {
+			f(i, player.RequestItem{Stream: player.Masking, Chunk: c, Full360: true, Quality: q})
+			i++
+		}
+	}
+}
+
+// locate maps an item to its frame index and payload size; ok is false
+// for items outside the manifest or beyond the frame cap. A full-360°
+// item on the primary stream is rejected too: the untiled chunk exists
+// only as a masking-stream payload, and real fetch lists never ask
+// otherwise.
+func (s *Store) locate(it player.RequestItem) (idx int, size int64, ok bool) {
+	if it.Chunk < 0 || it.Chunk >= s.m.NumChunks || !it.Quality.Valid() {
+		return 0, 0, false
+	}
+	tiled := s.m.NumChunks * s.tiles * video.NumQualities
+	if it.Full360 {
+		if it.Stream != player.Masking {
+			return 0, 0, false
+		}
+		idx = 2*tiled + it.Chunk*video.NumQualities + int(it.Quality)
+		size = s.m.Full360Size(it.Chunk, it.Quality)
+	} else {
+		if int(it.Tile) < 0 || int(it.Tile) >= s.tiles {
+			return 0, 0, false
+		}
+		idx = (it.Chunk*s.tiles+int(it.Tile))*video.NumQualities + int(it.Quality)
+		switch it.Stream {
+		case player.Primary:
+		case player.Masking:
+			idx += tiled
+		default:
+			return 0, 0, false
+		}
+		size = s.m.TileSize(it.Chunk, it.Tile, it.Quality)
+	}
+	if s.heads[idx*proto.TileHeadSize+4] == 0 {
+		// Zeroed type byte: the variant could not be framed (beyond the
+		// frame cap).
+		return 0, 0, false
+	}
+	return idx, size, true
+}
+
+// AppendFrame appends the item's pre-framed wire buffers — head, payload,
+// trailer — to bufs and returns the extended slice plus the frame's total
+// wire size. ok is false for items outside the manifest (or beyond the
+// frame cap): nothing is appended and the caller should skip the item,
+// exactly as the server's queue does for malformed entries.
+//
+// The appended slices are immutable shared references. Callers must never
+// write through them; net.Buffers.WriteTo only ever reslices the
+// net.Buffers value itself, so handing the same underlying buffers to any
+// number of concurrent connections is race-free. Note that WriteTo
+// CONSUMES the value it runs on — it reslices the header forward to zero
+// capacity — so a sender reusing its scratch across batches must call
+// WriteTo on a copy of the slice header and keep appending into the
+// original (see the server's sender loop).
+func (s *Store) AppendFrame(bufs net.Buffers, it player.RequestItem) (net.Buffers, int64, bool) {
+	idx, size, ok := s.locate(it)
+	if !ok {
+		return bufs, 0, false
+	}
+	bufs = append(bufs, s.heads[idx*proto.TileHeadSize:(idx+1)*proto.TileHeadSize])
+	if size > 0 {
+		// Zero-length buffers are skipped: an empty Write blocks on
+		// rendezvous transports (net.Pipe) and costs a syscall for nothing.
+		bufs = append(bufs, s.payload[:size])
+	}
+	bufs = append(bufs, s.trailers[idx*proto.TileTrailerSize:(idx+1)*proto.TileTrailerSize])
+	return bufs, int64(proto.TileFrameOverhead) + size, true
+}
+
+// Frame returns the item's complete pre-framed wire buffers; a convenience
+// wrapper over AppendFrame for tests and single-frame sends.
+func (s *Store) Frame(it player.RequestItem) (net.Buffers, int64, bool) {
+	return s.AppendFrame(nil, it)
+}
+
+// WireSize returns the full on-the-wire size of the item's frame
+// (payload plus proto.TileFrameOverhead), or 0 for items the store cannot
+// serve. This is the honest unit for queued-bytes backlog accounting:
+// with buffers shared process-wide, queued bytes measure pending
+// transmission, not duplicated per-session memory.
+func (s *Store) WireSize(it player.RequestItem) int64 {
+	_, size, ok := s.locate(it)
+	if !ok {
+		return 0
+	}
+	return int64(proto.TileFrameOverhead) + size
+}
+
+// Manifest returns the manifest the store was built from.
+func (s *Store) Manifest() *video.Manifest { return s.m }
+
+// NumFrames reports how many pre-framed wire frames the store holds.
+func (s *Store) NumFrames() int { return len(s.heads) / proto.TileHeadSize }
+
+// MemoryBytes reports the store's resident footprint: per-frame heads
+// and trailers plus the one shared payload slab. This is the process-wide
+// cost of serving the manifest to ANY number of concurrent sessions — the
+// number the srv_store_bytes gauge exposes.
+func (s *Store) MemoryBytes() int64 {
+	return int64(len(s.heads) + len(s.trailers) + len(s.payload))
+}
+
+// storeHolder defers construction so concurrent Shared callers block on
+// one build instead of racing to build duplicates.
+type storeHolder struct {
+	once  sync.Once
+	store *Store
+}
+
+var sharedStores sync.Map // *video.Manifest -> *storeHolder
+
+// Shared returns the process-wide store for the manifest, building it
+// once on first use. Every server (and every cold-restarted server in the
+// same process sharing the manifest pointer) serves from the same
+// immutable frames; warm it before fanning out many servers or sessions,
+// the way sim pre-warms the shared overlap and score tables.
+func Shared(m *video.Manifest) *Store {
+	h, ok := sharedStores.Load(m)
+	if !ok {
+		h, _ = sharedStores.LoadOrStore(m, &storeHolder{})
+	}
+	holder := h.(*storeHolder)
+	holder.once.Do(func() { holder.store = New(m) })
+	return holder.store
+}

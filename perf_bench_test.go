@@ -7,13 +7,18 @@
 package dragonfly_test
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	"dragonfly/internal/core"
 	"dragonfly/internal/geom"
+	"dragonfly/internal/netem"
 	"dragonfly/internal/player"
+	"dragonfly/internal/proto"
+	"dragonfly/internal/server"
 	"dragonfly/internal/video"
 )
 
@@ -96,6 +101,100 @@ func BenchmarkOverlapCapExact(b *testing.B) {
 		}
 	}
 	_ = sink
+}
+
+// BenchmarkManyConnStream is the many-connection macro benchmark behind
+// the shared tile store: 8 concurrent sessions over in-process pipe
+// connections (netem.PipeListener, unshaped) each stream every tile of
+// the perf manifest from ONE server. Steady-state send cost is the
+// store's serve-by-reference path — pre-framed buffers, vectored writes,
+// no per-send serialization or CRC — so the reported MB/s tracks how much
+// concurrent traffic one server can push. Fresh sessions each iteration
+// keep the per-connection dedup from short-circuiting the sends.
+func BenchmarkManyConnStream(b *testing.B) {
+	m := perfManifest()
+	srv := server.New(m)
+	lst := netem.NewPipeListener(netem.Link{})
+	ctx, cancel := context.WithCancel(context.Background())
+	srvDone := make(chan error, 1)
+	go func() { srvDone <- srv.Serve(ctx, lst) }()
+	defer func() {
+		cancel()
+		lst.Close()
+		<-srvDone
+	}()
+
+	tiles := m.NumTiles()
+	items := make([]player.RequestItem, 0, m.NumChunks*tiles)
+	var payloadBytes int64
+	for c := 0; c < m.NumChunks; c++ {
+		for tl := 0; tl < tiles; tl++ {
+			it := player.RequestItem{Stream: player.Primary, Chunk: c, Tile: geom.TileID(tl), Quality: 2}
+			items = append(items, it)
+			payloadBytes += it.Size(m)
+		}
+	}
+	const sessions = 8
+	b.SetBytes(payloadBytes * sessions)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := streamSession(lst, items); err != nil {
+					errs <- err
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
+}
+
+// streamSession runs one client session: handshake, one request for every
+// item, drain the tiles, goodbye. Reads go through the pooled
+// ReadMessageBuf path, like the real client receiver.
+func streamSession(lst *netem.PipeListener, items []player.RequestItem) error {
+	conn, err := lst.Dial()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := proto.WriteHello(conn, proto.Hello{VideoID: "perf"}); err != nil {
+		return err
+	}
+	var buf []byte
+	msg, buf, err := proto.ReadMessageBuf(conn, buf)
+	if err != nil {
+		return err
+	}
+	if msg.Type != proto.MsgManifest {
+		return fmt.Errorf("expected manifest, got type %d", msg.Type)
+	}
+	if err := proto.WriteRequest(conn, proto.Request{Generation: 1, Items: items}); err != nil {
+		return err
+	}
+	for got := 0; got < len(items); {
+		msg, buf, err = proto.ReadMessageBuf(conn, buf)
+		if err != nil {
+			return err
+		}
+		switch msg.Type {
+		case proto.MsgTileData:
+			got++
+		case proto.MsgPing:
+		default:
+			return fmt.Errorf("unexpected message type %d", msg.Type)
+		}
+	}
+	return proto.WriteBye(conn)
 }
 
 // The same full-grid pass through the precomputed table: one orientation

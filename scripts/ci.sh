@@ -46,7 +46,7 @@ done
 # iteration is all warm-up noise.
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench='Fig|Table|Tiling|Ext' -benchtime=1x . | tee "$raw"
+go test -run '^$' -bench='Fig|Table|Tiling|Ext|ManyConn' -benchtime=1x . | tee "$raw"
 go test -run '^$' -bench='Decide|Overlap' -benchtime="${BENCHTIME_MICRO:-50x}" . | tee -a "$raw"
 go test -run '^$' -bench='Frame' -benchtime="${BENCHTIME_MICRO:-50x}" ./internal/proto | tee -a "$raw"
 if [ "$strict" = 1 ]; then
