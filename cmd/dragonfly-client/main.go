@@ -38,6 +38,7 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 5*time.Second, "idle read deadline; the server heartbeats, so a silent link this long is dead")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "per-frame write deadline")
 	traceFile := flag.String("trace", "", "write the session's event trace as JSONL to this file")
+	cohort := flag.String("cohort", "", "fleet-rollup cohort label sent in the handshake (default \"<motion class>:net\")")
 	flag.Parse()
 
 	factory, ok := sim.Registry()[*schemeKey]
@@ -99,7 +100,8 @@ func main() {
 			WriteTimeout: *writeTimeout,
 			Seed:         *seed,
 		},
-		Trace: sessionTrace,
+		Trace:  sessionTrace,
+		Cohort: *cohort,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"dragonfly/internal/ingest"
 	"dragonfly/internal/netem"
 	"dragonfly/internal/obs"
 	"dragonfly/internal/server"
@@ -40,6 +41,10 @@ func main() {
 	maxQueueBytes := flag.Int64("max-queue-bytes", 0, "per-session queued payload budget in bytes before shedding (0 = count bound only)")
 	maxConns := flag.Int("max-conns", 0, "admission limit; extra connections are fast-rejected with a retryable busy error (0 = unlimited)")
 	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics and /debug/pprof/ (empty = off)")
+	traceDir := flag.String("trace-dir", "", "directory for server-view JSONL session traces for the ingest tier (empty = off)")
+	qoeRollup := flag.String("qoe-rollup", "", "ingest /rollup URL to poll for per-cohort shed-budget scales (empty = off)")
+	qoePoll := flag.Duration("qoe-poll", 2*time.Second, "rollup poll interval; data older than 3x is treated as stale (neutral scales)")
+	qoeTarget := flag.Float64("qoe-target", 40, "per-cohort viewport-quality budget in dB for the feedback loop")
 	flag.Parse()
 
 	var manifests []*video.Manifest
@@ -61,6 +66,7 @@ func main() {
 	srv.MaxQueue = *maxQueue
 	srv.MaxQueueBytes = *maxQueueBytes
 	srv.MaxConns = *maxConns
+	srv.TraceDir = *traceDir
 
 	var link netem.Link
 	if *bwFile != "" {
@@ -116,8 +122,24 @@ func main() {
 		log.Printf("second signal: shutting down")
 		cancel()
 	}()
+	if *qoeRollup != "" {
+		if srv.Obs == nil {
+			srv.Obs = obs.NewRegistry()
+		}
+		fb := ingest.NewFeedback(ingest.FeedbackConfig{
+			URL:      *qoeRollup,
+			Interval: *qoePoll,
+			TargetDB: *qoeTarget,
+			Obs:      srv.Obs,
+		})
+		srv.QoE = fb
+		go fb.Run(ctx)
+		log.Printf("QoE feedback: polling %s every %s (target %.1f dB)", *qoeRollup, *qoePoll, *qoeTarget)
+	}
 	if *adminAddr != "" {
-		srv.Obs = obs.NewRegistry()
+		if srv.Obs == nil {
+			srv.Obs = obs.NewRegistry()
+		}
 		adminListen, adminErr, err := obs.ServeAdmin(ctx, *adminAddr, srv.Obs)
 		if err != nil {
 			log.Fatalf("admin listener: %v", err)

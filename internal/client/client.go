@@ -111,6 +111,13 @@ type PlayOptions struct {
 	// Trace, when non-nil, receives structured session events (fetches,
 	// skips, stalls, outages, reconnects) for JSONL export.
 	Trace *obs.Trace
+
+	// Cohort labels the session for fleet QoE rollups, conventionally
+	// "<trace class>:<network class>". It is stamped into the trace's
+	// EvSession header and sent to the server (hello and resume) so
+	// QoE-feedback shed scaling can key on it. Empty derives
+	// "<head class>:net".
+	Cohort string
 }
 
 // Play streams videoID from the server behind conn using the given scheme,
@@ -153,6 +160,12 @@ func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, s
 	if opts.AssumedStartMbps == 0 {
 		opts.AssumedStartMbps = 5
 	}
+	if opts.Cohort == "" {
+		opts.Cohort = head.ClassName() + ":net"
+	}
+	// The session header leads the trace so consumers can cohort-key every
+	// later event; handshake retries (EvBusy) come after it by design.
+	opts.Trace.Add(obs.SessionEvent(videoID, opts.Cohort))
 
 	// The opening dial and handshake retry failed connects and busy
 	// rejections (admission control: connection limit or drain) with the
@@ -178,7 +191,7 @@ func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, s
 			}
 			conn = c
 		}
-		m2, err := handshake(conn, videoID)
+		m2, err := handshake(conn, videoID, opts.Cohort)
 		if err == nil {
 			m = m2
 			break
@@ -236,8 +249,8 @@ func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, s
 var errBusy = errors.New("client: server busy")
 
 // handshake sends the hello and reads the manifest on a fresh connection.
-func handshake(conn net.Conn, videoID string) (*video.Manifest, error) {
-	if err := proto.WriteHello(conn, proto.Hello{VideoID: videoID}); err != nil {
+func handshake(conn net.Conn, videoID, cohort string) (*video.Manifest, error) {
+	if err := proto.WriteHello(conn, proto.Hello{VideoID: videoID, Cohort: cohort}); err != nil {
 		// A fast-rejecting server writes its busy error and closes without
 		// reading the hello, so the write can fail with a broken pipe while
 		// the rejection sits unread in the receive buffer. Prefer the typed
@@ -509,6 +522,7 @@ func (s *session) resume(conn net.Conn, sum player.HeldSummary) error {
 		Version: proto.ProtoVersion,
 		VideoID: s.m.VideoID,
 		Held:    sum,
+		Cohort:  s.opts.Cohort,
 	}); err != nil {
 		return fmt.Errorf("client: resume: %w", err)
 	}
@@ -607,8 +621,16 @@ func (s *session) run() (*player.Metrics, error) {
 		skips, masks, blanks := s.met.PrimarySkipFrames, s.met.RenderedMasking, s.met.RenderedBlank
 		s.acct.RenderFrame(chunk, o, s.received, now)
 		skips, masks, blanks = s.met.PrimarySkipFrames-skips, s.met.RenderedMasking-masks, s.met.RenderedBlank-blanks
+		var score float64
+		scored := len(s.met.FrameScore) > 0
+		if scored {
+			score = s.met.FrameScore[len(s.met.FrameScore)-1]
+		}
 		s.mu.Unlock()
 		if s.opts.Trace != nil {
+			if scored {
+				s.opts.Trace.Add(obs.Event{At: now, Kind: obs.EvQuality, Chunk: chunk, N: int64(score * 100)})
+			}
 			if skips > 0 {
 				s.opts.Trace.Add(obs.Event{At: now, Kind: obs.EvSkip, Chunk: chunk})
 			}

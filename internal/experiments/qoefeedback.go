@@ -1,0 +1,398 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"dragonfly/internal/client"
+	"dragonfly/internal/core"
+	"dragonfly/internal/ingest"
+	"dragonfly/internal/netem"
+	"dragonfly/internal/obs"
+	"dragonfly/internal/player"
+	"dragonfly/internal/server"
+	"dragonfly/internal/store"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/video"
+)
+
+// QoEFeedbackParams scales the QoE feedback-loop experiment; the zero
+// value runs the acceptance configuration.
+type QoEFeedbackParams struct {
+	SessionsPerCohort int // sessions per cohort per phase (default 3)
+	Chunks            int // video length in chunks/seconds (default 3)
+	Seed              int64
+}
+
+// QoEFeedbackOutcome is the accounting of one run: Phase A proves the
+// ingest rollup's quantiles against exact per-session statistics, Phase B
+// proves the closed loop steers shedding apart for over- vs under-budget
+// cohorts.
+type QoEFeedbackOutcome struct {
+	OverCohort, UnderCohort string
+
+	// Phase A: rollup accuracy.
+	OverP50DB, UnderP50DB float64 // rollup medians per cohort
+	EnvelopeDB            float64 // documented quantile error bound (sketch bin width)
+	MaxQuantileErrDB      float64 // worst |rollup - exact| over p10/p50/p90, both cohorts
+	QualitySamples        uint64  // EvQuality events folded
+
+	// Phase B: the closed loop.
+	TargetDB              float64 // quality budget handed to the feedback poller
+	OverScale, UnderScale float64 // cohort shed-budget scales the servers applied
+	OverShed, UnderShed   int64   // shed payload bytes per server (identical workloads)
+	OverScaledInstalls    int64
+	UnderScaledInstalls   int64
+	ServerTraceSessions   int64  // server-view traces folded back through a watcher
+	ServerTraceShedFolded uint64 // EvShed events those traces carried for the over cohort
+	ServerTraceShedP50    float64
+}
+
+// qoeRig is a minimal single-instance server endpoint: every dial spawns a
+// fresh shaped pipe served by the same server (no restarts — the chaos
+// rigs cover that; here the subject is the feedback loop).
+type qoeRig struct {
+	srv  *server.Server
+	link netem.Link
+	ctx  context.Context
+}
+
+func (r *qoeRig) dial() (net.Conn, error) {
+	clientConn, serverConn := netem.Pipe(r.link)
+	go func() {
+		defer serverConn.Close()
+		_ = r.srv.HandleConnContext(r.ctx, serverConn)
+	}()
+	return clientConn, nil
+}
+
+// qoeSession streams one traced session and returns its metrics and trace.
+func qoeSession(rig *qoeRig, videoID, cohort string, head *trace.HeadTrace, seed int64) (*player.Metrics, *obs.Trace, error) {
+	tr := obs.NewTrace(0)
+	met, err := client.PlayResilient(rig.dial, videoID, head, core.NewDefault(), client.PlayOptions{
+		Reconnect: client.ReconnectPolicy{
+			MaxAttempts:  4,
+			BaseDelay:    20 * time.Millisecond,
+			MaxDelay:     200 * time.Millisecond,
+			ReadTimeout:  500 * time.Millisecond,
+			WriteTimeout: 250 * time.Millisecond,
+			Seed:         seed,
+		},
+		Trace:  tr,
+		Cohort: cohort,
+	})
+	return met, tr, err
+}
+
+// ExtQoEFeedback runs the fleet QoE feedback-loop proof end to end:
+// traced client sessions on a fast and a slow link push JSONL traces to a
+// live ingest service, whose /rollup quantiles are checked against the
+// exact pooled per-session statistics within the documented envelope
+// (Phase A); then two identical servers — one per cohort, same tight
+// queue budget, same workload, different cohort label — poll that rollup
+// through ingest.Feedback and the over-budget cohort's server measurably
+// sheds more than the under-budget one's (Phase B). Server-view traces
+// written to a TraceDir are folded back through a directory watcher to
+// close the server half of the pipeline.
+func ExtQoEFeedback(env *Env, w io.Writer) (QoEFeedbackOutcome, error) {
+	return extQoEFeedback(env, w, QoEFeedbackParams{})
+}
+
+func extQoEFeedback(_ *Env, w io.Writer, p QoEFeedbackParams) (QoEFeedbackOutcome, error) {
+	if p.SessionsPerCohort <= 0 {
+		p.SessionsPerCohort = 3
+	}
+	if p.Chunks <= 0 {
+		p.Chunks = 3
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	out := QoEFeedbackOutcome{OverCohort: "high:fast", UnderCohort: "low:slow"}
+
+	m := video.Generate(video.GenParams{
+		ID: "qoe", Rows: 6, Cols: 6, NumChunks: p.Chunks,
+		TargetQP42Mbps: 0.8, TargetQP22Mbps: 6, Seed: 77,
+	})
+	store.Shared(m) // pre-warm once; both phases' servers serve from it
+	videoDur := time.Duration(p.Chunks) * time.Second
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The ingest tier: one aggregator serving /ingest + /rollup.
+	ingReg := obs.NewRegistry()
+	cfg := ingest.DefaultConfig()
+	cfg.Obs = ingReg
+	agg := ingest.New(cfg)
+	ingAddr, _, err := agg.Serve(ctx, "127.0.0.1:0")
+	if err != nil {
+		return out, err
+	}
+	ingURL := "http://" + ingAddr.String()
+
+	// ---- Phase A: trace firehose in, rollup quantiles out. -------------
+	// One cohort streams over a fast link, the other over a starved one,
+	// so their viewport-quality distributions separate; every session's
+	// trace is pushed over HTTP, and the rollup must reproduce the exact
+	// pooled percentiles within the documented envelope.
+	fast := &qoeRig{srv: phaseServer(m, 0, ""), ctx: ctx,
+		link: netem.Link{Trace: &trace.BandwidthTrace{SamplePeriod: time.Second, Mbps: []float64{20}}}}
+	slow := &qoeRig{srv: phaseServer(m, 0, ""), ctx: ctx,
+		link: netem.Link{Trace: &trace.BandwidthTrace{SamplePeriod: time.Second, Mbps: []float64{1.5}}}}
+
+	type cohortRun struct {
+		rig    *qoeRig
+		cohort string
+		class  trace.MotionClass
+	}
+	runs := []cohortRun{
+		{fast, out.OverCohort, trace.MotionHigh},
+		{slow, out.UnderCohort, trace.MotionLow},
+	}
+	exact := map[string][]float64{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errc := make(chan error, 2*p.SessionsPerCohort)
+	for _, r := range runs {
+		for i := 0; i < p.SessionsPerCohort; i++ {
+			wg.Add(1)
+			go func(r cohortRun, i int) {
+				defer wg.Done()
+				head := trace.GenerateHead(trace.HeadGenParams{
+					UserID: fmt.Sprintf("qoe-%s-%d", r.cohort, i), Class: r.class,
+					Duration: videoDur + time.Second, Seed: p.Seed + int64(i),
+				})
+				met, tr, err := qoeSession(r.rig, "qoe", r.cohort, head, p.Seed+int64(i))
+				if err != nil {
+					errc <- fmt.Errorf("%s session %d: %w", r.cohort, i, err)
+					return
+				}
+				var buf bytes.Buffer
+				if err := tr.WriteJSONL(&buf); err != nil {
+					errc <- err
+					return
+				}
+				resp, err := http.Post(ingURL+"/ingest", "application/jsonl", &buf)
+				if err != nil {
+					errc <- fmt.Errorf("push trace: %w", err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("push trace: %s", resp.Status)
+					return
+				}
+				// The exact per-session statistic the rollup approximates:
+				// the wire carries centi-dB (score truncated to 0.01 dB), so
+				// pool the same rounding the trace saw.
+				mu.Lock()
+				for _, s := range met.FrameScore {
+					exact[r.cohort] = append(exact[r.cohort], float64(int64(s*100))/100)
+				}
+				mu.Unlock()
+			}(r, i)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return out, err
+	default:
+	}
+
+	ru, err := fetchRollup(ingURL)
+	if err != nil {
+		return out, err
+	}
+	out.EnvelopeDB = ru.QualityEnvDB
+	for cohort, samples := range exact {
+		cr, ok := ru.Cohorts[cohort]
+		if !ok {
+			return out, fmt.Errorf("cohort %q missing from rollup", cohort)
+		}
+		if cr.QualityDB.Count != uint64(len(samples)) {
+			return out, fmt.Errorf("cohort %q: rollup folded %d quality samples, clients rendered %d",
+				cohort, cr.QualityDB.Count, len(samples))
+		}
+		out.QualitySamples += cr.QualityDB.Count
+		for _, q := range []struct {
+			p   float64
+			got float64
+		}{{10, cr.QualityDB.P10}, {50, cr.QualityDB.P50}, {90, cr.QualityDB.P90}} {
+			diff := math.Abs(q.got - nearestRank(samples, q.p))
+			if diff > out.MaxQuantileErrDB {
+				out.MaxQuantileErrDB = diff
+			}
+		}
+	}
+	if out.MaxQuantileErrDB > out.EnvelopeDB {
+		return out, fmt.Errorf("rollup quantile error %.3f dB exceeds envelope %.3f dB",
+			out.MaxQuantileErrDB, out.EnvelopeDB)
+	}
+	out.OverP50DB = ru.Cohorts[out.OverCohort].QualityDB.P50
+	out.UnderP50DB = ru.Cohorts[out.UnderCohort].QualityDB.P50
+	if out.OverP50DB <= out.UnderP50DB {
+		return out, fmt.Errorf("cohorts failed to separate: fast p50 %.2f <= slow p50 %.2f",
+			out.OverP50DB, out.UnderP50DB)
+	}
+
+	// ---- Phase B: close the loop. --------------------------------------
+	// Budget midway between the cohort medians: the fast cohort is over
+	// it (shed harder), the slow one under (relax). Two identical servers
+	// with the same tight byte budget serve identical workloads — the
+	// only difference is the cohort label their clients announce.
+	out.TargetDB = (out.OverP50DB + out.UnderP50DB) / 2
+	fbReg := obs.NewRegistry()
+	fb := ingest.NewFeedback(ingest.FeedbackConfig{
+		URL:      ingURL + "/rollup",
+		TargetDB: out.TargetDB,
+		MaxAge:   time.Minute, // one poll feeds the whole phase
+		Obs:      fbReg,
+	})
+	if err := fb.Poll(ctx); err != nil {
+		return out, fmt.Errorf("feedback poll: %w", err)
+	}
+	out.OverScale = fb.CohortScale(out.OverCohort)
+	out.UnderScale = fb.CohortScale(out.UnderCohort)
+
+	traceRoot, err := os.MkdirTemp("", "dragonfly-qoe-")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(traceRoot)
+
+	// A byte budget well under one chunk's fetch list, so the shedder is
+	// active at neutral scale and the cohort scales visibly modulate it.
+	const phaseBBudget = 192 << 10
+	link := netem.Link{Trace: &trace.BandwidthTrace{SamplePeriod: time.Second, Mbps: []float64{6}}}
+	overRig := &qoeRig{srv: phaseServer(m, phaseBBudget, filepath.Join(traceRoot, "over")), ctx: ctx, link: link}
+	underRig := &qoeRig{srv: phaseServer(m, phaseBBudget, filepath.Join(traceRoot, "under")), ctx: ctx, link: link}
+	overRig.srv.QoE = fb
+	underRig.srv.QoE = fb
+
+	phaseB := []cohortRun{
+		{overRig, out.OverCohort, trace.MotionMedium},
+		{underRig, out.UnderCohort, trace.MotionMedium},
+	}
+	for _, r := range phaseB {
+		for i := 0; i < p.SessionsPerCohort; i++ {
+			wg.Add(1)
+			go func(r cohortRun, i int) {
+				defer wg.Done()
+				// Identical workloads: same head trace and seed per index,
+				// only the cohort label differs.
+				head := trace.GenerateHead(trace.HeadGenParams{
+					UserID: fmt.Sprintf("qoe-b-%d", i), Class: r.class,
+					Duration: videoDur + time.Second, Seed: p.Seed + 100 + int64(i),
+				})
+				if _, _, err := qoeSession(r.rig, "qoe", r.cohort, head, p.Seed+100+int64(i)); err != nil {
+					errc <- fmt.Errorf("phase B %s session %d: %w", r.cohort, i, err)
+				}
+			}(r, i)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return out, err
+	default:
+	}
+
+	overC := overRig.srv.Counters()
+	underC := underRig.srv.Counters()
+	out.OverShed = overC.ShedBytes
+	out.UnderShed = underC.ShedBytes
+	out.OverScaledInstalls = overC.QoEScaledInstalls
+	out.UnderScaledInstalls = underC.QoEScaledInstalls
+
+	// Fold the server-view traces back through the watch path: the same
+	// files a production ingest tier would tail with -watch.
+	srvAgg := ingest.New(ingest.Config{})
+	for _, dir := range []string{filepath.Join(traceRoot, "over"), filepath.Join(traceRoot, "under")} {
+		if err := ingest.NewWatcher(srvAgg, dir, time.Hour).Scan(); err != nil {
+			return out, fmt.Errorf("watch %s: %w", dir, err)
+		}
+	}
+	sru := srvAgg.Rollup()
+	for _, cr := range sru.Cohorts {
+		out.ServerTraceSessions += cr.Sessions
+	}
+	if cr, ok := sru.Cohorts[out.OverCohort]; ok {
+		out.ServerTraceShedFolded = cr.ShedBytes.Count
+		out.ServerTraceShedP50 = cr.ShedBytes.P50
+	}
+
+	fprintf(w, "== Extension: qoe-feedback (trace ingest -> cohort rollup -> shed-budget loop) ==\n")
+	fprintf(w, "%d sessions/cohort/phase, %d-chunk video; ingest at %s.\n\n", p.SessionsPerCohort, p.Chunks, ingURL)
+	fprintf(w, "%-30s %14s\n", "metric", "value")
+	fprintf(w, "%-30s %14d\n", "quality samples folded", out.QualitySamples)
+	fprintf(w, "%-30s %11.3f dB\n", "rollup quantile envelope", out.EnvelopeDB)
+	fprintf(w, "%-30s %11.3f dB\n", "worst quantile error", out.MaxQuantileErrDB)
+	fprintf(w, "%-30s %11.2f dB\n", out.OverCohort+" p50", out.OverP50DB)
+	fprintf(w, "%-30s %11.2f dB\n", out.UnderCohort+" p50", out.UnderP50DB)
+	fprintf(w, "%-30s %11.2f dB\n", "quality budget (target)", out.TargetDB)
+	fprintf(w, "%-30s %14.3f\n", out.OverCohort+" scale", out.OverScale)
+	fprintf(w, "%-30s %14.3f\n", out.UnderCohort+" scale", out.UnderScale)
+	fprintf(w, "%-30s %14d\n", "over-budget shed bytes", out.OverShed)
+	fprintf(w, "%-30s %14d\n", "under-budget shed bytes", out.UnderShed)
+	fprintf(w, "%-30s %14d\n", "scaled installs (over)", out.OverScaledInstalls)
+	fprintf(w, "%-30s %14d\n", "scaled installs (under)", out.UnderScaledInstalls)
+	fprintf(w, "%-30s %14d\n", "server traces refolded", out.ServerTraceSessions)
+	fprintf(w, "%-30s %14d\n", "server shed events folded", out.ServerTraceShedFolded)
+	return out, nil
+}
+
+// nearestRank is the exact nearest-rank percentile — the rank convention
+// the rollup sketches use, and the one the documented envelope (one bin
+// width) is stated against. An interpolating estimator (stats.Percentile)
+// can sit anywhere between two tied plateaus of a discrete distribution,
+// which no binned sketch can reproduce; nearest-rank is exactly
+// recoverable to within a bin.
+func nearestRank(samples []float64, p float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// phaseServer builds one experiment server: tight budgets come from the
+// caller; traceDir empty disables server-view tracing.
+func phaseServer(m *video.Manifest, maxQueueBytes int64, traceDir string) *server.Server {
+	s := server.New(m)
+	s.Heartbeat = 100 * time.Millisecond
+	s.WriteTimeout = 250 * time.Millisecond
+	s.MaxQueueBytes = maxQueueBytes
+	s.TraceDir = traceDir
+	return s
+}
+
+func fetchRollup(baseURL string) (ingest.Rollup, error) {
+	var ru ingest.Rollup
+	resp, err := http.Get(baseURL + "/rollup")
+	if err != nil {
+		return ru, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ru, fmt.Errorf("rollup: %s", resp.Status)
+	}
+	return ru, json.NewDecoder(resp.Body).Decode(&ru)
+}

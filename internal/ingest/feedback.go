@@ -1,0 +1,233 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"dragonfly/internal/obs"
+)
+
+// FeedbackConfig tunes the rollup-driven shed-scale controller.
+type FeedbackConfig struct {
+	// URL is the ingest service's /rollup endpoint.
+	URL string
+
+	// Interval between polls (default 2 s). MaxAge is how old the last
+	// successful rollup may be before CohortScale falls back to the
+	// neutral 1.0 (default 3×Interval) — the stale-data safety: a dead or
+	// partitioned ingest tier must never keep steering shedding.
+	Interval time.Duration
+	MaxAge   time.Duration
+
+	// TargetDB is the per-cohort viewport-quality budget: cohorts whose
+	// rollup median sits above it are over budget and shed harder
+	// (scale < 1), cohorts below it are relaxed (scale > 1).
+	TargetDB float64
+	// DeadbandDB around the target maps to the neutral scale (default
+	// 0.5 dB — the rollup quantile envelope at default geometry is
+	// 0.25 dB, so the deadband absorbs sketch error before acting).
+	DeadbandDB float64
+	// GainPerDB is the scale change per dB beyond the deadband (default
+	// 0.15). MinScale/MaxScale clamp the result (defaults 0.25, 2.0).
+	GainPerDB          float64
+	MinScale, MaxScale float64
+
+	// MinSessions ignores cohorts with fewer folded sessions (default 1):
+	// a single session's median is noise, not a cohort signal.
+	MinSessions int64
+
+	// Obs, when non-nil, receives the srv_qoe_* metrics — this registry
+	// is conventionally the server's own, so scale decisions land next to
+	// the srv_shed_* counters they modulate.
+	Obs *obs.Registry
+
+	// HTTPClient overrides the poller's client (tests); nil uses a
+	// 2-second-timeout default.
+	HTTPClient *http.Client
+}
+
+func (c *FeedbackConfig) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.MaxAge <= 0 {
+		c.MaxAge = 3 * c.Interval
+	}
+	if c.DeadbandDB <= 0 {
+		c.DeadbandDB = 0.5
+	}
+	if c.GainPerDB <= 0 {
+		c.GainPerDB = 0.15
+	}
+	if c.MinScale <= 0 {
+		c.MinScale = 0.25
+	}
+	if c.MaxScale < c.MinScale {
+		c.MaxScale = 2.0
+	}
+	if c.MinSessions <= 0 {
+		c.MinSessions = 1
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 2 * time.Second}
+	}
+}
+
+// Feedback polls an ingest /rollup endpoint and turns each cohort's median
+// viewport quality into a shed-budget scale. It implements the server's
+// QoESource: the tile server multiplies a session's queue budgets by
+// CohortScale(cohort) when deciding how hard to shed.
+//
+// Scales are recomputed on every successful poll and frozen in between;
+// when the last success is older than MaxAge every cohort reads neutral.
+type Feedback struct {
+	cfg FeedbackConfig
+
+	mu      sync.RWMutex
+	scales  map[string]float64
+	fetched time.Time
+
+	cPolls    *obs.Counter // srv_qoe_polls
+	cPollErrs *obs.Counter // srv_qoe_poll_errs
+	gStale    *obs.Gauge   // srv_qoe_stale: 1 when CohortScale is in fallback
+	gCohorts  *obs.Gauge   // srv_qoe_cohorts: cohorts with a live scale
+}
+
+// NewFeedback creates a poller; call Run (or Poll from a test) to feed it.
+func NewFeedback(cfg FeedbackConfig) *Feedback {
+	cfg.fillDefaults()
+	r := cfg.Obs
+	return &Feedback{
+		cfg:       cfg,
+		scales:    map[string]float64{},
+		cPolls:    r.Counter("srv_qoe_polls"),
+		cPollErrs: r.Counter("srv_qoe_poll_errs"),
+		gStale:    r.Gauge("srv_qoe_stale"),
+		gCohorts:  r.Gauge("srv_qoe_cohorts"),
+	}
+}
+
+// Run polls until ctx is done. The first poll happens immediately.
+func (f *Feedback) Run(ctx context.Context) {
+	t := time.NewTicker(f.cfg.Interval)
+	defer t.Stop()
+	_ = f.Poll(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_ = f.Poll(ctx)
+		}
+	}
+}
+
+// Poll fetches the rollup once and recomputes every cohort's scale.
+func (f *Feedback) Poll(ctx context.Context) error {
+	f.cPolls.Inc()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.URL, nil)
+	if err != nil {
+		f.cPollErrs.Inc()
+		return err
+	}
+	resp, err := f.cfg.HTTPClient.Do(req)
+	if err != nil {
+		f.cPollErrs.Inc()
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		f.cPollErrs.Inc()
+		return fmt.Errorf("ingest: rollup %s: %s", f.cfg.URL, resp.Status)
+	}
+	var ru Rollup
+	if err := json.NewDecoder(resp.Body).Decode(&ru); err != nil {
+		f.cPollErrs.Inc()
+		return err
+	}
+	f.Apply(ru)
+	return nil
+}
+
+// Apply recomputes scales from an already-fetched rollup (the poll path
+// and in-process tests share it).
+func (f *Feedback) Apply(ru Rollup) {
+	scales := make(map[string]float64, len(ru.Cohorts))
+	for name, cr := range ru.Cohorts {
+		if cr.Sessions < f.cfg.MinSessions || cr.QualityDB.Count == 0 {
+			continue
+		}
+		scales[name] = f.scaleFor(cr.QualityDB.P50)
+		f.cfg.Obs.Gauge("srv_qoe_scale_" + SanitizeMetricLabel(name)).Set(scales[name])
+	}
+	f.mu.Lock()
+	f.scales = scales
+	f.fetched = time.Now()
+	f.mu.Unlock()
+	f.gCohorts.Set(float64(len(scales)))
+}
+
+// scaleFor maps a cohort median quality to a shed-budget scale: 1 inside
+// the deadband, shrinking linearly as the cohort runs over its quality
+// budget, growing as it runs under, clamped to [MinScale, MaxScale].
+func (f *Feedback) scaleFor(p50 float64) float64 {
+	delta := p50 - f.cfg.TargetDB
+	switch {
+	case delta > f.cfg.DeadbandDB:
+		delta -= f.cfg.DeadbandDB
+	case delta < -f.cfg.DeadbandDB:
+		delta += f.cfg.DeadbandDB
+	default:
+		return 1
+	}
+	s := 1 - f.cfg.GainPerDB*delta
+	if s < f.cfg.MinScale {
+		s = f.cfg.MinScale
+	}
+	if s > f.cfg.MaxScale {
+		s = f.cfg.MaxScale
+	}
+	return s
+}
+
+// CohortScale returns the shed-budget scale for a cohort: <1 sheds harder,
+// >1 relaxes, exactly 1 when the cohort is unknown, inside its budget
+// deadband, or the rollup data is older than MaxAge (stale-safe).
+func (f *Feedback) CohortScale(cohort string) float64 {
+	f.mu.RLock()
+	s, ok := f.scales[cohort]
+	age := time.Since(f.fetched)
+	f.mu.RUnlock()
+	if age > f.cfg.MaxAge {
+		f.gStale.Set(1)
+		return 1
+	}
+	f.gStale.Set(0)
+	if !ok {
+		return 1
+	}
+	return s
+}
+
+// SanitizeMetricLabel maps an arbitrary cohort string onto the metric-name
+// alphabet [a-z0-9_] so it can suffix the srv_qoe_scale_ gauge family
+// ("low:belgian" → "low_belgian").
+func SanitizeMetricLabel(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			out[i] = c
+		case c >= 'A' && c <= 'Z':
+			out[i] = c + ('a' - 'A')
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

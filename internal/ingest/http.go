@@ -1,0 +1,142 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Handler returns the ingest service's HTTP surface:
+//
+//	POST /ingest   fold a JSONL trace body (one or more sessions)
+//	GET  /rollup   the current per-cohort Rollup as JSON
+//	GET  /healthz  liveness probe
+//
+// Like the obs admin handler it is meant for a trusted listener and
+// performs no authentication.
+func (a *Aggregator) Handler() http.Handler {
+	r := a.cfg.Obs
+	cPush := r.Counter("ing_push_reqs")
+	cPushBytes := r.Counter("ing_push_bytes")
+	cPushErrs := r.Counter("ing_push_errs")
+	cRollups := r.Counter("ing_rollup_reqs")
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		cPush.Inc()
+		lines, err := a.FoldReader(http.MaxBytesReader(w, req.Body, maxPushBytes))
+		if err != nil {
+			cPushErrs.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cPushBytes.Add(req.ContentLength)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"lines\":%d}\n", lines)
+	})
+	mux.HandleFunc("/rollup", func(w http.ResponseWriter, req *http.Request) {
+		cRollups.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(a.Rollup()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// maxPushBytes bounds one POST /ingest body (a session trace at the
+// DefaultTraceCap ring bound is well under 1 MiB of JSONL).
+const maxPushBytes = 32 << 20
+
+// Serve listens on addr and serves Handler until ctx is done. It returns
+// the bound address (useful with ":0") and a channel yielding the server's
+// exit error, mirroring obs.ServeAdmin.
+func (a *Aggregator) Serve(ctx context.Context, addr string) (net.Addr, <-chan error, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+	go func() {
+		err := srv.Serve(l)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		done <- err
+	}()
+	return l.Addr(), done, nil
+}
+
+// SnapshotFile is the rollup document's filename inside the snapshot dir.
+const SnapshotFile = "rollup.json"
+
+// WriteSnapshot writes the current rollup to dir/rollup.json via a
+// same-directory rename, so readers never observe a torn document.
+func (a *Aggregator) WriteSnapshot(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(a.Rollup(), "", "  ")
+	if err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, SnapshotFile)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// RunSnapshots writes a snapshot every interval until ctx is done, then
+// writes one final snapshot so the file reflects everything folded.
+func (a *Aggregator) RunSnapshots(ctx context.Context, dir string, interval time.Duration) {
+	cSnaps := a.cfg.Obs.Counter("ing_snapshots")
+	cErrs := a.cfg.Obs.Counter("ing_snapshot_errs")
+	write := func() {
+		if _, err := a.WriteSnapshot(dir); err != nil {
+			cErrs.Inc()
+			return
+		}
+		cSnaps.Inc()
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			write()
+			return
+		case <-t.C:
+			write()
+		}
+	}
+}

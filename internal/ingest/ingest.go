@@ -1,0 +1,386 @@
+// Package ingest is the fleet QoE aggregation tier: a streaming consumer
+// of the JSONL session traces every server, client and sim sweep emits
+// (internal/obs, schema v1), folded online into per-cohort quantile
+// sketches of the quantities the paper's evaluation reasons about —
+// viewport quality, stall time, startup delay, outage duration — plus the
+// server-side shed volume the QoE feedback loop acts on.
+//
+// Traces arrive two ways: a directory watcher tails *.jsonl files as
+// servers append them (Watcher), and an HTTP handler accepts pushed trace
+// bodies (POST /ingest). Both fold into one Aggregator, whose fixed-bin
+// mergeable sketches (internal/stats.Sketch) keep memory constant per
+// cohort no matter how many sessions stream through. GET /rollup exports
+// the current per-cohort quantiles as JSON; Serve also snapshots the same
+// document to disk on a period, so an operator (or a cold-started
+// feedback poller) can read the last rollup without the service.
+//
+// The loop closes through Feedback: a stale-data-safe poller of /rollup
+// that turns each cohort's median viewport quality into a shed-budget
+// scale the tile server applies per session (server.QoESource) — cohorts
+// over their quality budget shed harder, cohorts under it are relaxed.
+// The full contract — trace schema, metric catalog, rollup format,
+// versioning policy — is docs/OBSERVABILITY.md.
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"dragonfly/internal/obs"
+	"dragonfly/internal/stats"
+)
+
+// Config sizes the per-cohort sketches. Every bound is a sketch range in
+// the unit of its quantity; values beyond a range clamp into the edge bin
+// (see stats.Sketch). The zero value means DefaultConfig.
+type Config struct {
+	// Viewport quality sketch, dB. The bin width (Hi-Lo)/Bins is the
+	// documented rollup quantile error envelope: 0.25 dB by default.
+	QualityLoDB, QualityHiDB float64
+	QualityBins              int
+
+	StallMaxMS   float64 // per-stall length range, ms (default 30 s, 100 ms bins)
+	StallBins    int
+	StartupMaxMS float64 // startup delay range, ms (default 30 s, 100 ms bins)
+	StartupBins  int
+	OutageMaxMS  float64 // per-outage length range, ms (default 60 s, 200 ms bins)
+	OutageBins   int
+	ShedMaxBytes float64 // per-install shed volume range, bytes (default 64 MiB)
+	ShedBins     int
+
+	// Obs, when non-nil, receives the ing_* metrics (events, sessions,
+	// rejects, cohort count) for the admin endpoint.
+	Obs *obs.Registry
+}
+
+// DefaultConfig returns the production sketch geometry.
+func DefaultConfig() Config {
+	return Config{
+		QualityLoDB: 0, QualityHiDB: 80, QualityBins: 320,
+		StallMaxMS: 30_000, StallBins: 300,
+		StartupMaxMS: 30_000, StartupBins: 300,
+		OutageMaxMS: 60_000, OutageBins: 300,
+		ShedMaxBytes: 64 << 20, ShedBins: 256,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.QualityHiDB <= c.QualityLoDB || c.QualityBins < 1 {
+		c.QualityLoDB, c.QualityHiDB, c.QualityBins = d.QualityLoDB, d.QualityHiDB, d.QualityBins
+	}
+	if c.StallMaxMS <= 0 || c.StallBins < 1 {
+		c.StallMaxMS, c.StallBins = d.StallMaxMS, d.StallBins
+	}
+	if c.StartupMaxMS <= 0 || c.StartupBins < 1 {
+		c.StartupMaxMS, c.StartupBins = d.StartupMaxMS, d.StartupBins
+	}
+	if c.OutageMaxMS <= 0 || c.OutageBins < 1 {
+		c.OutageMaxMS, c.OutageBins = d.OutageMaxMS, d.OutageBins
+	}
+	if c.ShedMaxBytes <= 0 || c.ShedBins < 1 {
+		c.ShedMaxBytes, c.ShedBins = d.ShedMaxBytes, d.ShedBins
+	}
+}
+
+// cohortAgg is the per-cohort fold state: one sketch per rollup quantity.
+type cohortAgg struct {
+	sessions int64
+	events   int64
+	quality  *stats.Sketch // dB
+	stall    *stats.Sketch // ms per stall
+	startup  *stats.Sketch // ms
+	outage   *stats.Sketch // ms per outage
+	shed     *stats.Sketch // bytes per shedding install
+}
+
+// Aggregator folds trace events into per-cohort sketches. All methods are
+// safe for concurrent use; many SessionFolds (one per tailed file or
+// pushed body) may feed one Aggregator from different goroutines.
+type Aggregator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cohorts map[string]*cohortAgg
+
+	// Registry handles, resolved once (nil-safe when cfg.Obs is nil).
+	evEvents   *obs.Counter
+	evSessions *obs.Counter
+	evRejected *obs.Counter
+	evBadLines *obs.Counter
+	gCohorts   *obs.Gauge
+}
+
+// New creates an aggregator with the given sketch geometry.
+func New(cfg Config) *Aggregator {
+	cfg.fillDefaults()
+	r := cfg.Obs
+	return &Aggregator{
+		cfg:        cfg,
+		cohorts:    map[string]*cohortAgg{},
+		evEvents:   r.Counter("ing_events"),
+		evSessions: r.Counter("ing_sessions"),
+		evRejected: r.Counter("ing_rejected_events"),
+		evBadLines: r.Counter("ing_bad_lines"),
+		gCohorts:   r.Gauge("ing_cohorts"),
+	}
+}
+
+func (a *Aggregator) newCohortAgg() *cohortAgg {
+	c := a.cfg
+	return &cohortAgg{
+		quality: stats.NewSketch(c.QualityLoDB, c.QualityHiDB, c.QualityBins),
+		stall:   stats.NewSketch(0, c.StallMaxMS, c.StallBins),
+		startup: stats.NewSketch(0, c.StartupMaxMS, c.StartupBins),
+		outage:  stats.NewSketch(0, c.OutageMaxMS, c.OutageBins),
+		shed:    stats.NewSketch(0, c.ShedMaxBytes, c.ShedBins),
+	}
+}
+
+// cohort returns the named cohort's fold state, creating it on first use.
+// Caller holds a.mu.
+func (a *Aggregator) cohort(name string) *cohortAgg {
+	ca := a.cohorts[name]
+	if ca == nil {
+		ca = a.newCohortAgg()
+		a.cohorts[name] = ca
+		a.gCohorts.Set(float64(len(a.cohorts)))
+	}
+	return ca
+}
+
+// maxPending bounds the events a SessionFold buffers while waiting for the
+// EvSession header (writers emit it first, but a tailer may join a
+// truncated or foreign stream); overflow classifies the session "unknown".
+const maxPending = 256
+
+// UnknownCohort is the rollup key for sessions whose trace carried no
+// usable EvSession header.
+const UnknownCohort = "unknown"
+
+// SessionFold is the per-session (per-file, per-push-body) streaming fold
+// state: it remembers the session's cohort and the open outage, and hands
+// each event to the shared Aggregator. Not safe for concurrent use itself;
+// distinct SessionFolds may run concurrently.
+type SessionFold struct {
+	a       *Aggregator
+	cohort  string
+	pending []obs.Event
+
+	inOutage   bool
+	outageAtMS float64
+}
+
+// NewSession starts folding one session trace stream.
+func (a *Aggregator) NewSession() *SessionFold {
+	return &SessionFold{a: a}
+}
+
+// Line folds one JSONL line. Malformed JSON counts as a bad line and
+// wrong-schema-version events are rejected (counted, never folded) —
+// the trace versioning policy in docs/OBSERVABILITY.md.
+func (sf *SessionFold) Line(line []byte) {
+	if len(line) == 0 {
+		return
+	}
+	var ev obs.Event
+	if err := json.Unmarshal(line, &ev); err != nil || ev.Kind == "" {
+		sf.a.evBadLines.Inc()
+		return
+	}
+	sf.Event(ev)
+}
+
+// Event folds one already-decoded event.
+func (sf *SessionFold) Event(ev obs.Event) {
+	a := sf.a
+	if ev.V != obs.TraceSchemaVersion {
+		a.evRejected.Inc()
+		return
+	}
+	a.evEvents.Inc()
+	if ev.Kind == obs.EvSession {
+		cohort := ev.Cohort
+		if cohort == "" {
+			cohort = UnknownCohort
+		}
+		// A new header mid-stream starts a new session (push bodies may
+		// concatenate several sessions back to back).
+		sf.closeSession()
+		sf.cohort = cohort
+		a.mu.Lock()
+		ca := a.cohort(cohort)
+		ca.sessions++
+		ca.events++
+		a.mu.Unlock()
+		a.evSessions.Inc()
+		for _, p := range sf.pending {
+			sf.fold(p)
+		}
+		sf.pending = nil
+		return
+	}
+	if sf.cohort == "" {
+		// Header not seen yet: hold on to the event, or give up on
+		// classification once the buffer says this stream has no header.
+		if len(sf.pending) < maxPending {
+			sf.pending = append(sf.pending, ev)
+			return
+		}
+		sf.cohort = UnknownCohort
+		a.mu.Lock()
+		a.cohort(UnknownCohort).sessions++
+		a.mu.Unlock()
+		a.evSessions.Inc()
+		for _, p := range sf.pending {
+			sf.fold(p)
+		}
+		sf.pending = nil
+	}
+	sf.fold(ev)
+}
+
+// fold applies one event to the session's cohort sketches. sf.cohort is set.
+func (sf *SessionFold) fold(ev obs.Event) {
+	a := sf.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ca := a.cohort(sf.cohort)
+	ca.events++
+	switch ev.Kind {
+	case obs.EvQuality:
+		ca.quality.Add(float64(ev.N) / 100) // centi-dB on the wire
+	case obs.EvResume:
+		ca.stall.Add(float64(ev.N))
+		sf.closeOutageLocked(ca, ev.AtMS)
+	case obs.EvStartup:
+		ca.startup.Add(float64(ev.N))
+	case obs.EvOutage:
+		sf.inOutage = true
+		sf.outageAtMS = ev.AtMS
+	case obs.EvReconnect, obs.EvLinkDead:
+		sf.closeOutageLocked(ca, ev.AtMS)
+	case obs.EvShed:
+		ca.shed.Add(float64(ev.N))
+	}
+}
+
+func (sf *SessionFold) closeOutageLocked(ca *cohortAgg, atMS float64) {
+	if !sf.inOutage {
+		return
+	}
+	sf.inOutage = false
+	if d := atMS - sf.outageAtMS; d >= 0 {
+		ca.outage.Add(d)
+	}
+}
+
+// closeSession flushes end-of-stream state (an outage the trace never saw
+// close stays unfolded: its length is unknown, not zero).
+func (sf *SessionFold) closeSession() {
+	sf.inOutage = false
+	sf.pending = nil
+}
+
+// Close ends the stream. Call when the trace source is done (file deleted,
+// push body fully read); safe to skip for tailed files that may grow.
+func (sf *SessionFold) Close() { sf.closeSession() }
+
+// FoldReader folds a complete JSONL stream (one or more sessions, each led
+// by its EvSession header) and returns the number of lines consumed.
+func (a *Aggregator) FoldReader(r io.Reader) (int, error) {
+	sf := a.NewSession()
+	defer sf.Close()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lines := 0
+	for sc.Scan() {
+		sf.Line(sc.Bytes())
+		lines++
+	}
+	return lines, sc.Err()
+}
+
+// Distribution is the exported quantile summary of one sketch.
+type Distribution struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P10   float64 `json:"p10"`
+	P25   float64 `json:"p25"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+func distOf(s *stats.Sketch) Distribution {
+	return Distribution{
+		Count: s.Count(),
+		Mean:  s.Mean(),
+		P10:   s.Quantile(10),
+		P25:   s.Quantile(25),
+		P50:   s.Quantile(50),
+		P90:   s.Quantile(90),
+		P99:   s.Quantile(99),
+	}
+}
+
+// CohortRollup is one cohort's exported aggregate.
+type CohortRollup struct {
+	Sessions  int64        `json:"sessions"`
+	Events    int64        `json:"events"`
+	QualityDB Distribution `json:"quality_db"`
+	StallMS   Distribution `json:"stall_ms"`
+	StartupMS Distribution `json:"startup_ms"`
+	OutageMS  Distribution `json:"outage_ms"`
+	ShedBytes Distribution `json:"shed_bytes"`
+}
+
+// Rollup is the /rollup document: every cohort's quantile summaries plus
+// the accuracy envelope consumers should hold the quantiles to.
+type Rollup struct {
+	SchemaVersion   int     `json:"schema_version"` // trace schema folded (obs.TraceSchemaVersion)
+	GeneratedUnixMS int64   `json:"generated_unix_ms"`
+	QualityEnvDB    float64 `json:"quality_envelope_db"` // quantile error bound, dB (sketch bin width)
+
+	Cohorts map[string]CohortRollup `json:"cohorts"`
+}
+
+// Rollup exports the current per-cohort aggregates.
+func (a *Aggregator) Rollup() Rollup {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := Rollup{
+		SchemaVersion:   obs.TraceSchemaVersion,
+		GeneratedUnixMS: time.Now().UnixMilli(),
+		QualityEnvDB:    (a.cfg.QualityHiDB - a.cfg.QualityLoDB) / float64(a.cfg.QualityBins),
+		Cohorts:         make(map[string]CohortRollup, len(a.cohorts)),
+	}
+	for name, ca := range a.cohorts {
+		out.Cohorts[name] = CohortRollup{
+			Sessions:  ca.sessions,
+			Events:    ca.events,
+			QualityDB: distOf(ca.quality),
+			StallMS:   distOf(ca.stall),
+			StartupMS: distOf(ca.startup),
+			OutageMS:  distOf(ca.outage),
+			ShedBytes: distOf(ca.shed),
+		}
+	}
+	return out
+}
+
+// CohortNames returns the known cohorts, sorted.
+func (a *Aggregator) CohortNames() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.cohorts))
+	for n := range a.cohorts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,170 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dragonfly/internal/obs"
+)
+
+// DefaultWatchInterval is the directory rescan period when Config leaves it 0.
+const DefaultWatchInterval = 500 * time.Millisecond
+
+// Watcher tails every *.jsonl file in a directory, folding appended lines
+// into the Aggregator as servers write them. It is poll-based (stdlib
+// only): each scan stats the directory, reads whatever grew past the
+// remembered per-file offset, and folds complete lines, keeping a partial
+// trailing line buffered until its newline lands. A file that shrinks is
+// treated as rotated and re-read from the start with fresh session state.
+//
+// Run drives scans on a timer; Scan is exposed for tests and one-shot use.
+// A Watcher is single-goroutine (the Aggregator underneath is what many
+// sources share).
+type Watcher struct {
+	a        *Aggregator
+	dir      string
+	interval time.Duration
+
+	files map[string]*tailFile
+
+	gFiles    *obs.Gauge   // ing_watch_files: files currently tailed
+	cBytes    *obs.Counter // ing_watch_bytes: trace bytes consumed
+	cRotates  *obs.Counter // ing_watch_rotations: shrunk files re-read
+	cScanErrs *obs.Counter // ing_watch_errs: directory/file read errors
+}
+
+type tailFile struct {
+	offset  int64
+	partial []byte // bytes after the last newline, carried to the next scan
+	sf      *SessionFold
+}
+
+// NewWatcher tails dir into a. interval 0 means DefaultWatchInterval.
+func NewWatcher(a *Aggregator, dir string, interval time.Duration) *Watcher {
+	if interval <= 0 {
+		interval = DefaultWatchInterval
+	}
+	r := a.cfg.Obs
+	return &Watcher{
+		a:         a,
+		dir:       dir,
+		interval:  interval,
+		files:     map[string]*tailFile{},
+		gFiles:    r.Gauge("ing_watch_files"),
+		cBytes:    r.Counter("ing_watch_bytes"),
+		cRotates:  r.Counter("ing_watch_rotations"),
+		cScanErrs: r.Counter("ing_watch_errs"),
+	}
+}
+
+// Run scans on the configured interval until ctx is done, with one final
+// scan on the way out so trailing writes are not lost.
+func (w *Watcher) Run(ctx context.Context) {
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			_ = w.Scan()
+			return
+		case <-t.C:
+			_ = w.Scan()
+		}
+	}
+}
+
+// Scan performs one pass: pick up new files, consume growth, drop state
+// for deleted files. Per-file errors are counted and skipped; the returned
+// error is only a directory-level failure.
+func (w *Watcher) Scan() error {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		w.cScanErrs.Inc()
+		return err
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		path := filepath.Join(w.dir, e.Name())
+		seen[path] = true
+		tf := w.files[path]
+		if tf == nil {
+			tf = &tailFile{sf: w.a.NewSession()}
+			w.files[path] = tf
+		}
+		if err := w.consume(path, tf); err != nil {
+			w.cScanErrs.Inc()
+		}
+	}
+	for path, tf := range w.files {
+		if !seen[path] {
+			tf.sf.Close()
+			delete(w.files, path)
+		}
+	}
+	w.gFiles.Set(float64(len(w.files)))
+	return nil
+}
+
+// consume folds everything past tf.offset.
+func (w *Watcher) consume(path string, tf *tailFile) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if fi.Size() < tf.offset {
+		// Truncated or rotated in place: restart with fresh session state.
+		w.cRotates.Inc()
+		tf.sf.Close()
+		*tf = tailFile{sf: w.a.NewSession()}
+	}
+	if fi.Size() == tf.offset {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Seek(tf.offset, io.SeekStart); err != nil {
+		return err
+	}
+	buf := make([]byte, 64*1024)
+	for {
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			tf.offset += int64(n)
+			w.cBytes.Add(int64(n))
+			chunk := buf[:n]
+			for {
+				nl := bytes.IndexByte(chunk, '\n')
+				if nl < 0 {
+					tf.partial = append(tf.partial, chunk...)
+					break
+				}
+				line := chunk[:nl]
+				if len(tf.partial) > 0 {
+					line = append(tf.partial, line...)
+					tf.partial = tf.partial[:0]
+				}
+				if len(bytes.TrimSpace(line)) > 0 {
+					tf.sf.Line(line)
+				}
+				chunk = chunk[nl+1:]
+			}
+		}
+		if rerr == io.EOF {
+			return nil
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+}

@@ -28,18 +28,40 @@ const (
 	EvLinkDead  EventKind = "linkdead"  // reconnect budget exhausted or server goodbye
 	EvCorrupt   EventKind = "corrupt"   // tile payload failed checksum; dropped (N = bytes)
 	EvBusy      EventKind = "busy"      // server fast-rejected the handshake (admission control)
+	EvSession   EventKind = "session"   // trace header: identifies the session's video and cohort
+	EvQuality   EventKind = "quality"   // frame rendered (N = viewport quality in centi-dB)
+	EvShed      EventKind = "shed"      // server shed queued items from an install (N = payload bytes)
 )
+
+// TraceSchemaVersion is the JSONL trace format version stamped into every
+// event ("v"). Ingest consumers reject events carrying any other version;
+// see docs/OBSERVABILITY.md for the versioning policy.
+const TraceSchemaVersion = 1
 
 // Event is one entry of a session trace. At is session-relative time.
 type Event struct {
+	// V is the trace schema version; Add stamps TraceSchemaVersion.
+	V     int           `json:"v"`
 	At    time.Duration `json:"-"`
 	AtMS  float64       `json:"t_ms"` // At in milliseconds, for the JSONL form
 	Kind  EventKind     `json:"ev"`
 	Chunk int           `json:"chunk,omitempty"`
 	Tile  int           `json:"tile,omitempty"`
 	// N carries the event's magnitude: bytes for EvFetch, list length for
-	// EvDecide, milliseconds for EvStartup/EvResume, etc.
+	// EvDecide, milliseconds for EvStartup/EvResume, centi-dB for
+	// EvQuality, etc.
 	N int64 `json:"n,omitempty"`
+	// Video and Cohort identify the session on its EvSession header line
+	// (empty on every other event). Cohort is the fleet-rollup aggregation
+	// key, conventionally "<trace class>:<network class>".
+	Video  string `json:"video,omitempty"`
+	Cohort string `json:"cohort,omitempty"`
+}
+
+// SessionEvent builds the EvSession trace header identifying a session's
+// video and rollup cohort. It is always the first event recorded.
+func SessionEvent(videoID, cohort string) Event {
+	return Event{Kind: EvSession, Video: videoID, Cohort: cohort}
 }
 
 // DefaultTraceCap bounds a session trace when NewTrace is given 0.
@@ -70,6 +92,7 @@ func (t *Trace) Add(e Event) {
 	if t == nil {
 		return
 	}
+	e.V = TraceSchemaVersion
 	e.AtMS = float64(e.At) / float64(time.Millisecond)
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -197,6 +197,9 @@ func (e *engine) run() {
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
 	}
+	// Trace header: the cohort key (trace class x network class) fleet
+	// rollups aggregate this session under.
+	e.cfg.Trace.Add(obs.SessionEvent(e.m.VideoID, e.cfg.Head.ClassName()+":"+e.cfg.Bandwidth.NetClass()))
 	for e.playFrame < totalFrames {
 		if e.now >= e.cfg.MaxWall {
 			e.met.Truncated = true
@@ -419,6 +422,9 @@ func (e *engine) renderFrame() {
 	e.acct.RenderFrame(chunk, o, e.received, e.now)
 	if e.cfg.Trace != nil {
 		// Per-frame display events, derived from the accountant's deltas.
+		if n := len(e.met.FrameScore); n > 0 {
+			e.cfg.Trace.Add(obs.Event{At: e.now, Kind: obs.EvQuality, Chunk: chunk, N: int64(e.met.FrameScore[n-1] * 100)})
+		}
 		if e.met.PrimarySkipFrames > skips {
 			e.cfg.Trace.Add(obs.Event{At: e.now, Kind: obs.EvSkip, Chunk: chunk})
 		}

@@ -143,6 +143,11 @@ func IsBusyText(text string) bool { return strings.HasPrefix(text, busyPrefix) }
 // Hello opens a session.
 type Hello struct {
 	VideoID string
+	// Cohort optionally labels the session for fleet QoE rollups
+	// ("<trace class>:<network class>"); the server keys its QoE-feedback
+	// shed scaling by it. Empty means unclassified, and the field is
+	// omitted from the wire so old peers interoperate.
+	Cohort string
 }
 
 // Request carries an ordered fetch list.
@@ -169,6 +174,11 @@ type Resume struct {
 	Version uint8
 	VideoID string
 	Held    player.HeldSummary
+	// Cohort re-labels the resumed session for QoE-feedback shed scaling,
+	// exactly as Hello.Cohort does for a fresh one; a cold-restarted server
+	// has no memory of the original hello, so the label must travel with
+	// the resume. Optional on the wire (trailing length-prefixed field).
+	Cohort string
 }
 
 // Pong is the status body a server attaches to the MsgPing it returns for
@@ -352,20 +362,38 @@ func readBody(r io.Reader, buf []byte, n int) ([]byte, error) {
 	return body, nil
 }
 
-// WriteHello sends a Hello.
+// WriteHello sends a Hello. The cohort label travels as an optional
+// length-prefixed trailer: absent entirely when empty, so the frame is
+// byte-identical to the pre-cohort wire form for unclassified sessions.
 func WriteHello(w io.Writer, h Hello) error {
 	if len(h.VideoID) > 255 {
 		return fmt.Errorf("proto: video id too long")
 	}
+	if len(h.Cohort) > 255 {
+		return fmt.Errorf("proto: cohort label too long")
+	}
 	body := append([]byte{byte(len(h.VideoID))}, h.VideoID...)
+	if h.Cohort != "" {
+		body = append(body, byte(len(h.Cohort)))
+		body = append(body, h.Cohort...)
+	}
 	return writeFrame(w, MsgHello, body)
 }
 
 func parseHello(body []byte) (Hello, error) {
-	if len(body) < 1 || len(body) != 1+int(body[0]) {
+	if len(body) < 1 || len(body) < 1+int(body[0]) {
 		return Hello{}, fmt.Errorf("proto: malformed hello")
 	}
-	return Hello{VideoID: string(body[1:])}, nil
+	h := Hello{VideoID: string(body[1 : 1+int(body[0])])}
+	rest := body[1+int(body[0]):]
+	if len(rest) == 0 {
+		return h, nil // pre-cohort form
+	}
+	if len(rest) != 1+int(rest[0]) {
+		return Hello{}, fmt.Errorf("proto: malformed hello cohort")
+	}
+	h.Cohort = string(rest[1:])
+	return h, nil
 }
 
 // WriteManifest sends the manifest as JSON.
@@ -494,6 +522,13 @@ func WriteResume(w io.Writer, r Resume) error {
 	body = append(body, h.Primary...)
 	body = append(body, h.MaskTile...)
 	body = append(body, h.MaskFull...)
+	if r.Cohort != "" {
+		if len(r.Cohort) > 255 {
+			return fmt.Errorf("proto: cohort label too long")
+		}
+		body = append(body, byte(len(r.Cohort)))
+		body = append(body, r.Cohort...)
+	}
 	return writeFrame(w, MsgResume, body)
 }
 
@@ -522,13 +557,20 @@ func parseResume(body []byte) (Resume, error) {
 	h := player.HeldSummary{NumChunks: int(chunks), NumTiles: int(tiles)}
 	perTile := (h.NumChunks*h.NumTiles + 7) / 8
 	perChunk := (h.NumChunks + 7) / 8
-	if len(rest) != 2*perTile+perChunk {
+	if len(rest) < 2*perTile+perChunk {
 		return Resume{}, fmt.Errorf("proto: resume bitmap length %d, want %d", len(rest), 2*perTile+perChunk)
 	}
 	h.Primary = rest[:perTile]
 	h.MaskTile = rest[perTile : 2*perTile]
-	h.MaskFull = rest[2*perTile:]
+	h.MaskFull = rest[2*perTile : 2*perTile+perChunk]
 	r.Held = h
+	rest = rest[2*perTile+perChunk:]
+	if len(rest) > 0 { // optional cohort trailer
+		if len(rest) != 1+int(rest[0]) {
+			return Resume{}, fmt.Errorf("proto: malformed resume cohort")
+		}
+		r.Cohort = string(rest[1:])
+	}
 	return r, nil
 }
 

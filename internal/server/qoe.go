@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"dragonfly/internal/obs"
+)
+
+// QoESource supplies per-cohort shed-budget scales — the server half of
+// the fleet QoE feedback loop. The canonical implementation is
+// ingest.Feedback, a poller of the ingest tier's /rollup endpoint; the
+// interface lives here so the server depends on the contract, not the
+// poller.
+//
+// CohortScale returns a multiplier applied to the session's queue budgets
+// (MaxQueue, MaxQueueBytes) at every request install: < 1 sheds harder
+// (the cohort is over its quality budget and can afford to lose
+// lowest-utility tiles), > 1 relaxes, and 1 is neutral. Implementations
+// must return 1 — never 0 — when they have no current data (stale rollup,
+// unknown cohort), so a broken feedback path degrades to the static
+// budgets rather than to starvation.
+type QoESource interface {
+	CohortScale(cohort string) float64
+}
+
+// qoeScale resolves the effective budget scale for a session's cohort:
+// neutral when no source is wired, the session carried no cohort, or the
+// source misbehaves (non-positive scale).
+func (s *Server) qoeScale(cohort string) float64 {
+	if s.QoE == nil || cohort == "" {
+		return 1
+	}
+	sc := s.QoE.CohortScale(cohort)
+	if !(sc > 0) { // catches 0, negatives, NaN
+		return 1
+	}
+	return sc
+}
+
+// scaleBudgets applies a QoE scale to the static queue budgets. The count
+// cap never scales below 1 (a session must always be able to hold one
+// item), and a disabled byte budget (0) stays disabled — scaling cannot
+// conjure a bound the operator did not set.
+func scaleBudgets(maxQueue int, maxBytes int64, scale float64) (int, int64) {
+	q := int(float64(maxQueue) * scale)
+	if q < 1 {
+		q = 1
+	}
+	b := maxBytes
+	if maxBytes > 0 {
+		b = int64(float64(maxBytes) * scale)
+		if b < 1 {
+			b = 1
+		}
+	}
+	return q, b
+}
+
+// sessionTrace is the server-view JSONL trace of one session: the
+// EvSession header (video + cohort from the handshake) plus one EvShed
+// event per shedding install, written to TraceDir at session end. The
+// ingest tier folds these alongside client traces so rollups carry the
+// server-side shed volume per cohort. All methods are nil-safe; a server
+// without TraceDir pays nothing.
+type sessionTrace struct {
+	tr    *obs.Trace
+	start time.Time
+	path  string
+}
+
+// traceSeq numbers session trace files within the process.
+var traceSeq atomic.Int64
+
+// startSessionTrace opens a server-view trace for one session, or nil
+// when TraceDir is unset.
+func (s *Server) startSessionTrace(videoID, cohort string) *sessionTrace {
+	if s.TraceDir == "" {
+		return nil
+	}
+	tr := obs.NewTrace(0)
+	tr.Add(obs.SessionEvent(videoID, cohort))
+	name := fmt.Sprintf("srv_%d_%d.jsonl", os.Getpid(), traceSeq.Add(1))
+	return &sessionTrace{tr: tr, start: time.Now(), path: filepath.Join(s.TraceDir, name)}
+}
+
+// shed records one shedding install (n = payload bytes shed).
+func (t *sessionTrace) shed(n int64) {
+	if t == nil {
+		return
+	}
+	t.tr.Add(obs.Event{At: time.Since(t.start), Kind: obs.EvShed, N: n})
+}
+
+// flush writes the trace file (atomically, via rename) so a tailing
+// ingest watcher never reads a torn line. Errors are reported through
+// logf and otherwise dropped — tracing must never fail a session.
+func (t *sessionTrace) flush(logf func(string, ...any)) {
+	if t == nil {
+		return
+	}
+	if err := t.write(); err != nil && logf != nil {
+		logf("server: session trace %s: %v", t.path, err)
+	}
+}
+
+func (t *sessionTrace) write() error {
+	if err := os.MkdirAll(filepath.Dir(t.path), 0o755); err != nil {
+		return err
+	}
+	tmp := t.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := t.tr.WriteJSONL(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, t.path)
+}

@@ -74,6 +74,17 @@ type Server struct {
 	// treat as retryable-with-backoff. 0 means unlimited.
 	MaxConns int
 
+	// QoE, when non-nil, scales each session's queue budgets by its
+	// cohort's shed-budget scale at every request install — the server
+	// half of the fleet QoE feedback loop (see QoESource). Nil keeps the
+	// static budgets.
+	QoE QoESource
+	// TraceDir, when set, receives one server-view JSONL session trace
+	// per connection (EvSession header with the handshake cohort, one
+	// EvShed per shedding install) for the ingest tier to tail. Empty
+	// disables server-side tracing.
+	TraceDir string
+
 	// active counts in-flight sessions for MaxConns admission; draining
 	// flips on Drain() and fast-rejects new sessions while in-flight ones
 	// run to completion. queuedBytes sums the payload bytes committed
@@ -99,6 +110,7 @@ type connObs struct {
 	primary, maskTile, maskFull *obs.Counter
 	bytes, pings, shed          *obs.Counter
 	shedBytes, corruptFrames    *obs.Counter
+	qoeInstalls                 *obs.Counter
 	tileBytes, queueLen         *obs.Histogram
 }
 
@@ -113,6 +125,7 @@ func (s *Server) bindConnObs() connObs {
 		shed:          r.Counter("srv_shed_items"),
 		shedBytes:     r.Counter("srv_shed_bytes"),
 		corruptFrames: r.Counter("srv_corrupt_frames"),
+		qoeInstalls:   r.Counter("srv_qoe_scaled_installs"),
 		tileBytes:     r.Histogram("srv_tile_bytes"),
 		queueLen:      r.Histogram("srv_queue_len"),
 	}
@@ -132,6 +145,7 @@ type counters struct {
 	corruptFrames atomic.Int64
 	rejectedConns atomic.Int64
 	probes        atomic.Int64
+	qoeInstalls   atomic.Int64
 }
 
 // Counters is a snapshot of the server's send accounting; the chaos tests
@@ -153,23 +167,27 @@ type Counters struct {
 	CorruptFrames int64
 	RejectedConns int64
 	Probes        int64
+	// QoEScaledInstalls counts request installs whose queue budgets were
+	// adjusted by a non-neutral cohort scale from the QoE feedback loop.
+	QoEScaledInstalls int64
 }
 
 // Counters returns a snapshot of the server's send accounting.
 func (s *Server) Counters() Counters {
 	return Counters{
-		PrimarySent:   s.ctr.primarySent.Load(),
-		MaskTileSent:  s.ctr.maskTileSent.Load(),
-		MaskFullSent:  s.ctr.maskFullSent.Load(),
-		BytesSent:     s.ctr.bytesSent.Load(),
-		Pings:         s.ctr.pings.Load(),
-		Resumes:       s.ctr.resumes.Load(),
-		ResumedItems:  s.ctr.resumedItems.Load(),
-		ShedItems:     s.ctr.shedItems.Load(),
-		ShedBytes:     s.ctr.shedBytes.Load(),
-		CorruptFrames: s.ctr.corruptFrames.Load(),
-		RejectedConns: s.ctr.rejectedConns.Load(),
-		Probes:        s.ctr.probes.Load(),
+		PrimarySent:       s.ctr.primarySent.Load(),
+		MaskTileSent:      s.ctr.maskTileSent.Load(),
+		MaskFullSent:      s.ctr.maskFullSent.Load(),
+		BytesSent:         s.ctr.bytesSent.Load(),
+		Pings:             s.ctr.pings.Load(),
+		Resumes:           s.ctr.resumes.Load(),
+		ResumedItems:      s.ctr.resumedItems.Load(),
+		ShedItems:         s.ctr.shedItems.Load(),
+		ShedBytes:         s.ctr.shedBytes.Load(),
+		CorruptFrames:     s.ctr.corruptFrames.Load(),
+		RejectedConns:     s.ctr.rejectedConns.Load(),
+		Probes:            s.ctr.probes.Load(),
+		QoEScaledInstalls: s.ctr.qoeInstalls.Load(),
 	}
 }
 
@@ -575,9 +593,10 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 		return fmt.Errorf("server: read hello: %w", err)
 	}
 	var (
-		m    *video.Manifest
-		ok   bool
-		held *player.HeldSummary
+		m      *video.Manifest
+		ok     bool
+		held   *player.HeldSummary
+		cohort string
 	)
 	switch msg.Type {
 	case proto.MsgHello:
@@ -586,6 +605,7 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 			_ = proto.WriteError(conn, fmt.Sprintf("unknown video %q", msg.Hello.VideoID))
 			return fmt.Errorf("server: unknown video %q", msg.Hello.VideoID)
 		}
+		cohort = msg.Hello.Cohort
 	case proto.MsgResume:
 		r := msg.Resume
 		if r.Version != proto.ProtoVersion {
@@ -602,6 +622,7 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 			return fmt.Errorf("server: resume geometry %dx%d for %q", r.Held.NumChunks, r.Held.NumTiles, r.VideoID)
 		}
 		held = &r.Held
+		cohort = r.Cohort
 	case proto.MsgPing:
 		// Health probe (balancer or external checker): answer with a
 		// status pong and end the connection. The figure excludes the
@@ -631,6 +652,9 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 	co := s.bindConnObs()
 	s.Obs.Counter("srv_conns_opened").Inc()
 	defer s.Obs.Counter("srv_conns_closed").Inc()
+
+	strace := s.startSessionTrace(m.VideoID, cohort)
+	defer strace.flush(s.Logf)
 
 	st := newSendState(m)
 	st.report = s.addQueuedBytes
@@ -677,11 +701,21 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 			switch msg.Type {
 			case proto.MsgRequest:
 				co.queueLen.Observe(float64(len(msg.Request.Items)))
-				if shed, shedBytes := st.install(*msg.Request, maxQueue, s.MaxQueueBytes, m); shed > 0 {
+				// The QoE feedback loop modulates this session's budgets by
+				// its cohort's scale, re-read per install so a fresh rollup
+				// takes effect within one request interval (~100 ms).
+				effQueue, effBytes := maxQueue, s.MaxQueueBytes
+				if scale := s.qoeScale(cohort); scale != 1 {
+					effQueue, effBytes = scaleBudgets(maxQueue, s.MaxQueueBytes, scale)
+					s.ctr.qoeInstalls.Add(1)
+					co.qoeInstalls.Inc()
+				}
+				if shed, shedBytes := st.install(*msg.Request, effQueue, effBytes, m); shed > 0 {
 					s.ctr.shedItems.Add(int64(shed))
 					s.ctr.shedBytes.Add(shedBytes)
 					co.shed.Add(int64(shed))
 					co.shedBytes.Add(shedBytes)
+					strace.shed(shedBytes)
 				}
 			case proto.MsgBye:
 				readErr <- nil

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSketchQuantileEnvelope pins the documented accuracy contract: on
+// seeded data inside the range, every quantile estimate — including from a
+// sketch merged out of shards — lands within one bin width of the exact
+// order statistic.
+func TestSketchQuantileEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const (
+		lo, hi = 0.0, 60.0
+		bins   = 240
+		shards = 8
+		perSh  = 500
+	)
+	var exact []float64
+	parts := make([]*Sketch, shards)
+	for sh := 0; sh < shards; sh++ {
+		parts[sh] = NewSketch(lo, hi, bins)
+		for i := 0; i < perSh; i++ {
+			// A bimodal mix, roughly like per-frame quality in dB.
+			v := 42 + 4*rng.NormFloat64()
+			if rng.Intn(4) == 0 {
+				v = 25 + 3*rng.NormFloat64()
+			}
+			if v < lo {
+				v = lo
+			}
+			if v > hi {
+				v = hi
+			}
+			exact = append(exact, v)
+			parts[sh].Add(v)
+		}
+	}
+	merged := NewSketch(lo, hi, bins)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != uint64(len(exact)) {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), len(exact))
+	}
+	envelope := merged.BinWidth()
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 99} {
+		got := merged.Quantile(p)
+		want := Percentile(exact, p)
+		if d := math.Abs(got - want); d > envelope {
+			t.Errorf("p%g: sketch %.3f vs exact %.3f, |diff| %.3f > envelope %.3f",
+				p, got, want, d, envelope)
+		}
+	}
+	if d := math.Abs(merged.Mean() - Mean(exact)); d > 1e-9 {
+		t.Errorf("mean drifted by %g (Sum should be exact)", d)
+	}
+}
+
+func TestSketchMergeRejectsGeometryMismatch(t *testing.T) {
+	a := NewSketch(0, 10, 10)
+	b := NewSketch(0, 20, 10)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of mismatched geometries succeeded")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+}
+
+func TestSketchClampsAndEdges(t *testing.T) {
+	s := NewSketch(0, 100, 10)
+	for _, v := range []float64{-5, 0, 100, 250, math.NaN()} {
+		s.Add(v)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count = %d, want 4 (NaN ignored)", s.Count())
+	}
+	if got := s.Quantile(100); got != 100 {
+		t.Errorf("p100 = %g, want 100", got)
+	}
+	if got := s.Quantile(0); got > s.BinWidth() {
+		t.Errorf("p0 = %g, want inside the first bin", got)
+	}
+	empty := NewSketch(0, 1, 4)
+	if empty.Quantile(50) != 0 || empty.Mean() != 0 {
+		t.Error("empty sketch should report zeros")
+	}
+}

@@ -1,6 +1,15 @@
 // Package stats provides the small statistical toolkit the experiment
 // harness uses to turn per-session metrics into the distributions, medians
 // and confidence intervals the paper's figures report.
+//
+// Two families of estimators live here. The exact ones (Mean, Percentile,
+// Bootstrap CIs) operate on full in-memory sample slices. Sketch is the
+// streaming counterpart: a fixed-bin, equal-width histogram over a declared
+// range whose quantiles are correct to within one bin width of the exact
+// nearest-rank percentile, and which merges losslessly with any sketch of
+// identical geometry — the aggregation primitive behind internal/ingest's
+// fleet-wide cohort rollups (see docs/OBSERVABILITY.md for the documented
+// accuracy envelope).
 package stats
 
 import (

@@ -20,6 +20,30 @@ type BandwidthTrace struct {
 	Mbps         []float64
 }
 
+// NetClass returns the trace's network class — its ID with any trailing
+// "-<seed>" / "_<seed>" instance suffix and window annotation stripped, so
+// "belgian-7" and "belgian-12[30s+60s]" both classify as "belgian". It is
+// the network-class half of the "<trace class>:<network class>" cohort key
+// fleet QoE rollups aggregate by; an anonymous trace classifies as "net".
+func (b *BandwidthTrace) NetClass() string {
+	id := b.ID
+	if i := strings.IndexByte(id, '['); i >= 0 {
+		id = id[:i]
+	}
+	i := len(id)
+	for i > 0 && id[i-1] >= '0' && id[i-1] <= '9' {
+		i--
+	}
+	if i > 0 && i < len(id) && (id[i-1] == '-' || id[i-1] == '_') {
+		i--
+	}
+	id = id[:i]
+	if id == "" {
+		return "net"
+	}
+	return strings.ToLower(id)
+}
+
 // Duration returns the total trace length.
 func (b *BandwidthTrace) Duration() time.Duration {
 	return time.Duration(len(b.Mbps)) * b.SamplePeriod

@@ -26,6 +26,19 @@ type HeadTrace struct {
 	UserID       string
 	SamplePeriod time.Duration
 	Samples      []geom.Orientation
+	// ClassLabel names the trace's motion class ("low", "medium", "high");
+	// GenerateHead fills it, imported CSV traces leave it empty. It is the
+	// trace-class half of the fleet-rollup cohort key — see ClassName.
+	ClassLabel string
+}
+
+// ClassName returns the trace-class label for cohort keying: ClassLabel
+// when known, else "user" (a recorded trace of unknown motion class).
+func (h *HeadTrace) ClassName() string {
+	if h.ClassLabel != "" {
+		return h.ClassLabel
+	}
+	return "user"
 }
 
 // Duration returns the trace length.
@@ -77,6 +90,21 @@ const (
 	MotionMedium
 	MotionHigh
 )
+
+// String returns the class's lowercase name — the trace-class half of the
+// "<trace class>:<network class>" cohort key fleet QoE rollups aggregate by.
+func (c MotionClass) String() string {
+	switch c {
+	case MotionLow:
+		return "low"
+	case MotionMedium:
+		return "medium"
+	case MotionHigh:
+		return "high"
+	default:
+		return "unknown"
+	}
+}
 
 // HeadGenParams parameterizes the synthetic head-motion generator.
 type HeadGenParams struct {
@@ -143,7 +171,7 @@ func GenerateHead(p HeadGenParams) *HeadTrace {
 			pitch = -60
 		}
 	}
-	return &HeadTrace{UserID: p.UserID, SamplePeriod: HeadSamplePeriod, Samples: samples}
+	return &HeadTrace{UserID: p.UserID, SamplePeriod: HeadSamplePeriod, Samples: samples, ClassLabel: p.Class.String()}
 }
 
 // DefaultUserTraces generates n user traces with a deterministic mix of

@@ -23,6 +23,28 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
+
+# Doc-drift gate: every metric name registered in the source must be
+# documented in docs/OBSERVABILITY.md — the metric catalog is stable API,
+# and an undocumented name is a contract change that slipped past review.
+# Names ending in '_' are gauge families (srv_qoe_scale_<cohort>) and are
+# checked as their documented "<name><" form.
+metrics=$(grep -rhoE '\.(Counter|Gauge|Histogram)\("[a-z0-9_]+"' \
+	--include='*.go' --exclude='*_test.go' internal cmd |
+	sed -E 's/.*\("//; s/"$//' | sort -u)
+drift=0
+for m in $metrics; do
+	case "$m" in
+	*_) pat="\`${m}<" ;;
+	*) pat="\`${m}\`" ;;
+	esac
+	if ! grep -qF "$pat" docs/OBSERVABILITY.md; then
+		echo "metric '$m' registered in code but missing from docs/OBSERVABILITY.md" >&2
+		drift=1
+	fi
+done
+[ "$drift" = 0 ] || exit 1
+
 go test -race -timeout 600s ./...
 
 # Fleet-chaos gate: the balancer + kill/cold-restart/drain proof runs once
@@ -31,6 +53,12 @@ go test -race -timeout 600s ./...
 # primary sends fleet-wide and dead-member detection inside the probe
 # budget.
 go test -race -run '^TestFleetChaos$' -count=1 -timeout 120s ./internal/experiments
+
+# QoE-feedback gate: the closed loop (trace ingest -> cohort rollup ->
+# shed-budget feedback) proved once more explicitly and uncached. The
+# seeded run asserts rollup quantiles within the documented envelope and
+# strictly more shedding for the over-budget cohort.
+go test -race -run '^TestQoEFeedback$' -count=1 -timeout 120s ./internal/experiments
 
 # Fuzz smoke: ten seconds per wire-format parser. The v3 framing work
 # (CRC trailers, hard length cap, resume bitmaps) lives or dies on these
@@ -49,6 +77,7 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench='Fig|Table|Tiling|Ext|ManyConn' -benchtime=1x . | tee "$raw"
 go test -run '^$' -bench='Decide|Overlap' -benchtime="${BENCHTIME_MICRO:-50x}" . | tee -a "$raw"
 go test -run '^$' -bench='Frame' -benchtime="${BENCHTIME_MICRO:-50x}" ./internal/proto | tee -a "$raw"
+go test -run '^$' -bench='IngestFold' -benchtime="${BENCHTIME_MICRO:-50x}" ./internal/ingest | tee -a "$raw"
 if [ "$strict" = 1 ]; then
 	go run ./cmd/benchdiff -baseline BENCH_baseline.json -new "$raw"
 else
