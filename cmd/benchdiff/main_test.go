@@ -56,9 +56,12 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 		"BenchmarkD": {NsPerOp: 5},    // new, informational only
 	}
 	var buf bytes.Buffer
-	got := compare(base, fresh, 1.5, &buf)
+	got, missing := compare(base, fresh, 1.5, &buf)
 	if len(got) != 1 || got[0] != "BenchmarkB" {
 		t.Fatalf("regressions = %v, want [BenchmarkB]", got)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkC" {
+		t.Fatalf("missing = %v, want [BenchmarkC]", missing)
 	}
 	out := buf.String()
 	for _, want := range []string{"REGRESSION", "MISSING", "NEW"} {
@@ -126,6 +129,51 @@ func TestDiffFailsOnInjectedRegression(t *testing.T) {
 	}
 }
 
+// TestDiffFailsOnMissingBenchmark: a benchmark present in the baseline but
+// absent from the fresh run fails the gate (unless -warn) — deleting or
+// renaming a benchmark must not silently pass the comparison.
+func TestDiffFailsOnMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "raw.txt")
+	if err := os.WriteFile(raw, []byte(sampleBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(dir, "baseline.json")
+	if err := emitBaseline(raw, baseline, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fresh run lost BenchmarkTilingSweep.
+	var kept []string
+	for _, line := range strings.Split(sampleBenchOutput, "\n") {
+		if !strings.HasPrefix(line, "BenchmarkTilingSweep") {
+			kept = append(kept, line)
+		}
+	}
+	lossyRaw := filepath.Join(dir, "lossy.txt")
+	if err := os.WriteFile(lossyRaw, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	err := diff(baseline, lossyRaw, 1.5, false, &buf)
+	if err == nil {
+		t.Fatalf("diff passed with a baseline benchmark missing:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkTilingSweep") || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("error %q does not name the missing benchmark", err)
+	}
+
+	// -warn downgrades the missing benchmark to a report.
+	buf.Reset()
+	if err := diff(baseline, lossyRaw, 1.5, true, &buf); err != nil {
+		t.Fatalf("warn mode failed on missing benchmark: %v", err)
+	}
+	if !strings.Contains(buf.String(), "WARNING") || !strings.Contains(buf.String(), "MISSING") {
+		t.Fatalf("warn mode did not report the missing benchmark:\n%s", buf.String())
+	}
+}
+
 // Example_baselineComparison shows the comparison underneath
 // `benchdiff -baseline ... -new ...`: each baseline benchmark is matched
 // against the fresh run and flagged once its ns/op ratio exceeds the
@@ -141,7 +189,7 @@ func Example_baselineComparison() {
 		"BenchmarkOverlapCapExact":    {NsPerOp: 6500},  // x2.10: regression
 		"BenchmarkOverlapTableLookup": {NsPerOp: 575},
 	}
-	regressions := compare(baseline, fresh, 1.5, os.Stdout)
+	regressions, _ := compare(baseline, fresh, 1.5, os.Stdout)
 	fmt.Println("regressed:", regressions)
 	// Output:
 	// ok       BenchmarkDecideFull360                          36000 ->        39000 ns/op (x1.08)

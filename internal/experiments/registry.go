@@ -79,6 +79,8 @@ func All(numStudyUsers int) []Experiment {
 			Run: func(env *Env, w io.Writer) error { _, err := ExtFleetChaos(env, w); return err }},
 		{ID: "qoe-feedback", Description: "extension: trace ingest -> cohort rollup -> QoE shed-budget feedback loop",
 			Run: func(env *Env, w io.Writer) error { _, err := ExtQoEFeedback(env, w); return err }},
+		{ID: "population", Description: "extension: population-scale sweep with streamed sketch aggregation (internal/popsim)",
+			Run: func(env *Env, w io.Writer) error { _, err := ExtPopulation(env, w); return err }},
 	}
 }
 

@@ -1,0 +1,27 @@
+package popsim
+
+import (
+	"testing"
+)
+
+// BenchmarkPopulationSweep streams a 10k-member population (one scheme,
+// tiny manifest) through the sharded engine — the figure of merit is
+// sessions/sec and allocation stability, not quality numbers. The sketch
+// rollup keeps memory flat regardless of population size, so b.N scales
+// population, not retained state.
+func BenchmarkPopulationSweep(b *testing.B) {
+	sw := engineSweep(17, 10_000, 0, 0, 1)
+	sw.Schemes = []string{"dragonfly"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rollup, st, err := Run(sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rollup.Sessions() != int64(sw.Sessions) {
+			b.Fatalf("folded %d sessions, want %d", rollup.Sessions(), sw.Sessions)
+		}
+		b.ReportMetric(st.SessionsPerSec, "sessions/sec")
+	}
+}

@@ -1,0 +1,481 @@
+package popsim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"dragonfly/internal/player"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/stats"
+)
+
+// Metric names of the per-(scheme, cohort) distributions a rollup tracks.
+const (
+	MetricQualityDB  = "quality_db"  // per-frame viewport quality, dB
+	MetricStallMS    = "stall_ms"    // per-session rebuffering total, ms
+	MetricStartupMS  = "startup_ms"  // per-session startup delay, ms
+	MetricBlankRatio = "blank_ratio" // per-session mean blank-area fraction
+)
+
+// Geometry sizes the rollup sketches. The quality envelope matches the
+// ingest tier's (0.25 dB at the defaults); values outside a range clamp
+// into the edge bins (stats.Sketch). The zero value means DefaultGeometry.
+type Geometry struct {
+	QualityLoDB, QualityHiDB float64
+	QualityBins              int
+	StallMaxMS               float64
+	StallBins                int
+	StartupMaxMS             float64
+	StartupBins              int
+	BlankBins                int // range is always [0, 1]
+}
+
+// DefaultGeometry returns the production sketch geometry.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		QualityLoDB: 0, QualityHiDB: 80, QualityBins: 320,
+		StallMaxMS: 60_000, StallBins: 300,
+		StartupMaxMS: 30_000, StartupBins: 300,
+		BlankBins: 200,
+	}
+}
+
+func (g *Geometry) fillDefaults() {
+	d := DefaultGeometry()
+	if g.QualityHiDB <= g.QualityLoDB || g.QualityBins < 1 {
+		g.QualityLoDB, g.QualityHiDB, g.QualityBins = d.QualityLoDB, d.QualityHiDB, d.QualityBins
+	}
+	if g.StallMaxMS <= 0 || g.StallBins < 1 {
+		g.StallMaxMS, g.StallBins = d.StallMaxMS, d.StallBins
+	}
+	if g.StartupMaxMS <= 0 || g.StartupBins < 1 {
+		g.StartupMaxMS, g.StartupBins = d.StartupMaxMS, d.StartupBins
+	}
+	if g.BlankBins < 1 {
+		g.BlankBins = d.BlankBins
+	}
+}
+
+// Dist is a stats.Sketch CDF paired with an exact fixed-point sum. The
+// sketch's bins carry the quantiles; SumMicro carries the mean in 1e-6
+// units of the clamped value. Both are integers, so folds and merges
+// commute exactly — the foundation of the engine's determinism contract
+// (identical rollups for any worker count or shard layout), which float
+// accumulation order would break.
+type Dist struct {
+	Sketch   *stats.Sketch
+	SumMicro int64
+}
+
+func newDist(lo, hi float64, bins int) *Dist {
+	return &Dist{Sketch: stats.NewSketch(lo, hi, bins)}
+}
+
+// Add folds one observation; NaN is ignored, out-of-range values clamp.
+func (d *Dist) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	d.Sketch.Add(v)
+	if v < d.Sketch.Lo {
+		v = d.Sketch.Lo
+	}
+	if v > d.Sketch.Hi {
+		v = d.Sketch.Hi
+	}
+	d.SumMicro += int64(math.Round(v * 1e6))
+}
+
+// Merge folds other into d; geometries must match (stats.Sketch.Merge).
+func (d *Dist) Merge(other *Dist) error {
+	if other == nil {
+		return nil
+	}
+	if err := d.Sketch.Merge(other.Sketch); err != nil {
+		return err
+	}
+	d.SumMicro += other.SumMicro
+	return nil
+}
+
+// Count returns the number of folded observations.
+func (d *Dist) Count() uint64 { return d.Sketch.Count() }
+
+// Mean returns the mean of the folded (clamped) observations, computed
+// from the fixed-point sum so it is merge-order independent.
+func (d *Dist) Mean() float64 {
+	n := d.Sketch.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(d.SumMicro) / 1e6 / float64(n)
+}
+
+// Quantile returns the estimated p-th percentile (see stats.Sketch).
+func (d *Dist) Quantile(p float64) float64 { return d.Sketch.Quantile(p) }
+
+// cohortDists is the fold state of one (scheme, cohort) cell.
+type cohortDists struct {
+	sessions int64
+	quality  *Dist
+	stall    *Dist
+	startup  *Dist
+	blank    *Dist
+}
+
+// Rollup is the streamed aggregate of a population sweep: per-(scheme,
+// cohort) distributions of the paper's QoE quantities. Memory is
+// O(schemes × cohorts × bins) and never grows with the session count.
+// All methods are safe for concurrent use.
+type Rollup struct {
+	geo Geometry
+
+	mu      sync.Mutex
+	schemes map[string]map[string]*cohortDists // scheme -> cohort -> dists
+}
+
+// NewRollup creates an empty rollup with the given sketch geometry.
+func NewRollup(geo Geometry) *Rollup {
+	geo.fillDefaults()
+	return &Rollup{geo: geo, schemes: map[string]map[string]*cohortDists{}}
+}
+
+// cell returns the (scheme, cohort) fold state, creating it on first use.
+// Caller holds r.mu.
+func (r *Rollup) cell(scheme, cohort string) *cohortDists {
+	cohorts := r.schemes[scheme]
+	if cohorts == nil {
+		cohorts = map[string]*cohortDists{}
+		r.schemes[scheme] = cohorts
+	}
+	cd := cohorts[cohort]
+	if cd == nil {
+		g := r.geo
+		cd = &cohortDists{
+			quality: newDist(g.QualityLoDB, g.QualityHiDB, g.QualityBins),
+			stall:   newDist(0, g.StallMaxMS, g.StallBins),
+			startup: newDist(0, g.StartupMaxMS, g.StartupBins),
+			blank:   newDist(0, 1, g.BlankBins),
+		}
+		cohorts[cohort] = cd
+	}
+	return cd
+}
+
+// Fold streams one finished session into the rollup: every rendered
+// frame's viewport quality plus the session's stall total, startup delay
+// and mean blank ratio. The metrics are not retained.
+func (r *Rollup) Fold(scheme, cohort string, m *player.Metrics) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cd := r.cell(scheme, cohort)
+	cd.sessions++
+	for _, v := range m.FrameScore {
+		cd.quality.Add(v)
+	}
+	cd.stall.Add(float64(m.RebufferDuration) / float64(time.Millisecond))
+	cd.startup.Add(float64(m.StartupDelay) / float64(time.Millisecond))
+	cd.blank.Add(m.MeanBlankArea())
+}
+
+// FoldSession adapts Fold to the sim.Sweep streaming hook, so a classic
+// cross-product sweep can aggregate into a population rollup:
+//
+//	sw.Fold = rollup.FoldSession
+func (r *Rollup) FoldSession(s sim.Session) {
+	r.Fold(s.Key, s.Cohort, s.Metrics)
+}
+
+// Sessions returns the total folded session count.
+func (r *Rollup) Sessions() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, cohorts := range r.schemes {
+		for _, cd := range cohorts {
+			n += cd.sessions
+		}
+	}
+	return n
+}
+
+// StateBins returns the total number of allocated sketch bins — the
+// memory-model observable: it depends only on which (scheme, cohort)
+// cells exist, never on how many sessions were folded into them.
+func (r *Rollup) StateBins() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, cohorts := range r.schemes {
+		for _, cd := range cohorts {
+			n += len(cd.quality.Sketch.Bins) + len(cd.stall.Sketch.Bins) +
+				len(cd.startup.Sketch.Bins) + len(cd.blank.Sketch.Bins)
+		}
+	}
+	return n
+}
+
+// Merge folds other into r. Geometries must match cell by cell; cells
+// missing from r are created. Merging commutes with folding, so shard
+// order does not matter.
+func (r *Rollup) Merge(other *Rollup) error {
+	if other == nil {
+		return nil
+	}
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for scheme, cohorts := range other.schemes {
+		for cohort, ocd := range cohorts {
+			cd := r.cell(scheme, cohort)
+			cd.sessions += ocd.sessions
+			for _, pair := range []struct{ dst, src *Dist }{
+				{cd.quality, ocd.quality},
+				{cd.stall, ocd.stall},
+				{cd.startup, ocd.startup},
+				{cd.blank, ocd.blank},
+			} {
+				if err := pair.dst.Merge(pair.src); err != nil {
+					return fmt.Errorf("popsim: merge %s/%s: %w", scheme, cohort, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DistSummary is one distribution's exported quantile summary.
+type DistSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P10   float64 `json:"p10"`
+	P25   float64 `json:"p25"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+func summaryOf(d *Dist) DistSummary {
+	return DistSummary{
+		Count: d.Count(),
+		Mean:  d.Mean(),
+		P10:   d.Quantile(10),
+		P25:   d.Quantile(25),
+		P50:   d.Quantile(50),
+		P90:   d.Quantile(90),
+		P99:   d.Quantile(99),
+	}
+}
+
+// CohortSummary is one (scheme, cohort) cell's exported aggregate.
+type CohortSummary struct {
+	Sessions   int64       `json:"sessions"`
+	QualityDB  DistSummary `json:"quality_db"`
+	StallMS    DistSummary `json:"stall_ms"`
+	StartupMS  DistSummary `json:"startup_ms"`
+	BlankRatio DistSummary `json:"blank_ratio"`
+}
+
+// Summary is the exported rollup document. Every number is computed from
+// the rollup's integer state, so two deterministically equal rollups
+// marshal to byte-identical JSON (map keys sort on encoding).
+type Summary struct {
+	Sessions     int64                               `json:"sessions"`
+	QualityEnvDB float64                             `json:"quality_envelope_db"`
+	Schemes      map[string]map[string]CohortSummary `json:"schemes"`
+}
+
+// Summary exports the rollup's per-(scheme, cohort) quantile summaries.
+func (r *Rollup) Summary() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := Summary{
+		QualityEnvDB: (r.geo.QualityHiDB - r.geo.QualityLoDB) / float64(r.geo.QualityBins),
+		Schemes:      make(map[string]map[string]CohortSummary, len(r.schemes)),
+	}
+	for scheme, cohorts := range r.schemes {
+		cs := make(map[string]CohortSummary, len(cohorts))
+		for cohort, cd := range cohorts {
+			out.Sessions += cd.sessions
+			cs[cohort] = CohortSummary{
+				Sessions:   cd.sessions,
+				QualityDB:  summaryOf(cd.quality),
+				StallMS:    summaryOf(cd.stall),
+				StartupMS:  summaryOf(cd.startup),
+				BlankRatio: summaryOf(cd.blank),
+			}
+		}
+		out.Schemes[scheme] = cs
+	}
+	return out
+}
+
+// SummaryJSON renders the summary as indented JSON. Equal rollups render
+// byte-identically (integer state, sorted map keys).
+func (r *Rollup) SummaryJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Summary(), "", "  ")
+}
+
+// SnapshotVersion is the shard-snapshot schema version ("v" on every
+// line). It follows the same versioning policy as the obs session-trace
+// schema (docs/OBSERVABILITY.md): readers reject any other version.
+const SnapshotVersion = 1
+
+// snapshotHeader is the first line of a shard snapshot.
+type snapshotHeader struct {
+	V        int    `json:"v"`
+	Kind     string `json:"kind"` // "popsim"
+	Shard    int    `json:"shard"`
+	Shards   int    `json:"shards"`
+	Sessions int64  `json:"sessions"`
+}
+
+// snapshotLine is one (scheme, cohort, metric) sketch of the snapshot
+// body, plus the per-cell session count on "cell" lines.
+type snapshotLine struct {
+	V        int      `json:"v"`
+	Kind     string   `json:"kind"` // "cell" or "dist"
+	Scheme   string   `json:"scheme"`
+	Cohort   string   `json:"cohort"`
+	Sessions int64    `json:"sessions,omitempty"` // kind "cell"
+	Metric   string   `json:"metric,omitempty"`   // kind "dist"
+	Lo       float64  `json:"lo"`
+	Hi       float64  `json:"hi"`
+	N        uint64   `json:"n"`
+	SumMicro int64    `json:"sum_micro"`
+	Bins     []uint64 `json:"bins"`
+}
+
+// WriteSnapshot serializes the rollup as the shard-report JSONL stream:
+// one header line, then one "cell" line and four "dist" lines per
+// (scheme, cohort), in sorted order. Only integer state crosses the
+// boundary, so a merged coordinator rollup equals the single-process one.
+func (r *Rollup) WriteSnapshot(w io.Writer, shard, shards int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var sessions int64
+	for _, cohorts := range r.schemes {
+		for _, cd := range cohorts {
+			sessions += cd.sessions
+		}
+	}
+	if err := enc.Encode(snapshotHeader{
+		V: SnapshotVersion, Kind: "popsim", Shard: shard, Shards: shards, Sessions: sessions,
+	}); err != nil {
+		return err
+	}
+	schemes := make([]string, 0, len(r.schemes))
+	for s := range r.schemes {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	for _, scheme := range schemes {
+		cohorts := r.schemes[scheme]
+		names := make([]string, 0, len(cohorts))
+		for c := range cohorts {
+			names = append(names, c)
+		}
+		sort.Strings(names)
+		for _, cohort := range names {
+			cd := cohorts[cohort]
+			if err := enc.Encode(snapshotLine{
+				V: SnapshotVersion, Kind: "cell", Scheme: scheme, Cohort: cohort, Sessions: cd.sessions,
+			}); err != nil {
+				return err
+			}
+			for _, md := range []struct {
+				metric string
+				dist   *Dist
+			}{
+				{MetricQualityDB, cd.quality},
+				{MetricStallMS, cd.stall},
+				{MetricStartupMS, cd.startup},
+				{MetricBlankRatio, cd.blank},
+			} {
+				s := md.dist.Sketch
+				if err := enc.Encode(snapshotLine{
+					V: SnapshotVersion, Kind: "dist", Scheme: scheme, Cohort: cohort,
+					Metric: md.metric, Lo: s.Lo, Hi: s.Hi, N: s.N, SumMicro: md.dist.SumMicro,
+					Bins: s.Bins,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// MergeSnapshot folds one shard-report JSONL stream into the rollup,
+// checking the schema version of every line and each sketch's geometry
+// against the rollup's (stats.Sketch.Merge).
+func (r *Rollup) MergeSnapshot(rd io.Reader) error {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	sawHeader := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var sl snapshotLine
+		if err := json.Unmarshal(line, &sl); err != nil {
+			return fmt.Errorf("popsim: snapshot line: %w", err)
+		}
+		if sl.V != SnapshotVersion {
+			return fmt.Errorf("popsim: snapshot schema v%d, want v%d", sl.V, SnapshotVersion)
+		}
+		switch sl.Kind {
+		case "popsim":
+			sawHeader = true
+		case "cell":
+			r.mu.Lock()
+			r.cell(sl.Scheme, sl.Cohort).sessions += sl.Sessions
+			r.mu.Unlock()
+		case "dist":
+			in := &Dist{
+				Sketch:   &stats.Sketch{Lo: sl.Lo, Hi: sl.Hi, Bins: sl.Bins, N: sl.N},
+				SumMicro: sl.SumMicro,
+			}
+			r.mu.Lock()
+			cd := r.cell(sl.Scheme, sl.Cohort)
+			var dst *Dist
+			switch sl.Metric {
+			case MetricQualityDB:
+				dst = cd.quality
+			case MetricStallMS:
+				dst = cd.stall
+			case MetricStartupMS:
+				dst = cd.startup
+			case MetricBlankRatio:
+				dst = cd.blank
+			default:
+				r.mu.Unlock()
+				return fmt.Errorf("popsim: snapshot names unknown metric %q", sl.Metric)
+			}
+			err := dst.Merge(in)
+			r.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("popsim: snapshot %s/%s/%s: %w", sl.Scheme, sl.Cohort, sl.Metric, err)
+			}
+		default:
+			return fmt.Errorf("popsim: snapshot line kind %q unknown", sl.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawHeader {
+		return fmt.Errorf("popsim: snapshot stream has no header line")
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"dragonfly/internal/player"
+)
+
+// TestFoldStreamsEverySession proves the streaming hook sees each session
+// exactly once, with the cohort key and stable index, while the Results
+// map is skipped entirely (the memory bound: a fold-only sweep retains
+// nothing beyond the caller's fold state).
+func TestFoldStreamsEverySession(t *testing.T) {
+	sw := smallSweep("dragonfly", "flare")
+	type seen struct {
+		cohort string
+		median float64
+	}
+	folded := map[string]map[int]seen{}
+	var metrics []*player.Metrics
+	sw.Fold = func(s Session) {
+		if folded[s.Key] == nil {
+			folded[s.Key] = map[int]seen{}
+		}
+		if _, dup := folded[s.Key][s.Index]; dup {
+			t.Errorf("session %s/%d folded twice", s.Key, s.Index)
+		}
+		folded[s.Key][s.Index] = seen{cohort: s.Cohort, median: s.Metrics.MedianScore()}
+		metrics = append(metrics, s.Metrics)
+	}
+	res, stats, err := RunWithStats(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("fold-only sweep retained a Results map with %d schemes", len(res))
+	}
+	if stats.Sessions != 8 { // 2 schemes x 1 video x 2 users x 2 traces
+		t.Fatalf("stats counted %d sessions, want 8", stats.Sessions)
+	}
+	for _, key := range []string{"dragonfly", "flare"} {
+		if len(folded[key]) != 4 {
+			t.Fatalf("%s: folded %d sessions, want 4", key, len(folded[key]))
+		}
+		for idx, s := range folded[key] {
+			if s.cohort == "" {
+				t.Errorf("%s/%d folded without a cohort", key, idx)
+			}
+		}
+	}
+
+	// The stream must carry the same sessions a retaining run produces.
+	sw2 := smallSweep("dragonfly", "flare")
+	res2, err := Run(sw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sessions := range [][]*player.Metrics{res2["Dragonfly"], res2["Flare"]} {
+		key := []string{"dragonfly", "flare"}[i]
+		for idx, met := range sessions {
+			if got := folded[key][idx].median; got != met.MedianScore() {
+				t.Errorf("%s/%d: folded median %.3f != retained %.3f", key, idx, got, met.MedianScore())
+			}
+		}
+	}
+}
+
+// TestFoldWithRetainResults keeps both the stream and the map.
+func TestFoldWithRetainResults(t *testing.T) {
+	sw := smallSweep("dragonfly")
+	count := 0
+	sw.Fold = func(Session) { count++ }
+	sw.RetainResults = true
+	res, err := Run(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("folded %d sessions, want 4", count)
+	}
+	if len(res["Dragonfly"]) != 4 {
+		t.Fatalf("RetainResults kept %d sessions, want 4", len(res["Dragonfly"]))
+	}
+}

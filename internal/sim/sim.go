@@ -107,7 +107,32 @@ type Sweep struct {
 	// TraceDir, when non-empty, writes one JSONL event trace per session to
 	// <TraceDir>/<scheme key>_<index>.jsonl (the directory is created).
 	TraceDir string
+
+	// Fold, when non-nil, receives every finished session as soon as it
+	// completes. It is invoked from a single collector goroutine, so fold
+	// state needs no locking of its own. Unless RetainResults is also set,
+	// Run returns nil Results and each session's metrics are dropped right
+	// after the fold — sweep memory stays O(fold state), not O(sessions).
+	// This is the streaming hook the population engine (internal/popsim)
+	// builds its sketch rollups on.
+	Fold FoldFunc
+
+	// RetainResults forces the Results map to be built even when Fold is
+	// set (both the stream and the retained map are wanted). It has no
+	// effect when Fold is nil: plain sweeps always retain.
+	RetainResults bool
 }
+
+// Session describes one finished session as handed to a Fold callback.
+type Session struct {
+	Key     string // sweep scheme key (registry or Extra)
+	Index   int    // stable index in the sweep's (video, user, bandwidth) order
+	Cohort  string // "<trace class>:<network class>" rollup key (docs/OBSERVABILITY.md)
+	Metrics *player.Metrics
+}
+
+// FoldFunc consumes finished sessions as a sweep streams them out.
+type FoldFunc func(Session)
 
 // Stats reports a sweep's execution profile.
 type Stats struct {
@@ -130,11 +155,8 @@ func Run(sw Sweep) (Results, error) {
 // (session count, wall time, throughput).
 func RunWithStats(sw Sweep) (Results, Stats, error) {
 	started := time.Now()
-	res, err := run(sw)
-	stats := Stats{Wall: time.Since(started)}
-	for _, mets := range res {
-		stats.Sessions += len(mets)
-	}
+	res, sessions, err := run(sw)
+	stats := Stats{Wall: time.Since(started), Sessions: sessions}
 	if secs := stats.Wall.Seconds(); secs > 0 {
 		stats.SessionsPerSec = float64(stats.Sessions) / secs
 	}
@@ -145,7 +167,7 @@ func RunWithStats(sw Sweep) (Results, Stats, error) {
 	return res, stats, err
 }
 
-func run(sw Sweep) (Results, error) {
+func run(sw Sweep) (Results, int, error) {
 	reg := Registry()
 	type job struct {
 		scheme  string
@@ -156,11 +178,11 @@ func run(sw Sweep) (Results, error) {
 	var jobs []job
 	perScheme := len(sw.Videos) * len(sw.Users) * len(sw.Bandwidths)
 	if perScheme == 0 {
-		return nil, fmt.Errorf("sim: sweep needs videos, users and bandwidth traces")
+		return nil, 0, fmt.Errorf("sim: sweep needs videos, users and bandwidth traces")
 	}
 	if sw.TraceDir != "" {
 		if err := os.MkdirAll(sw.TraceDir, 0o755); err != nil {
-			return nil, fmt.Errorf("sim: trace dir: %w", err)
+			return nil, 0, fmt.Errorf("sim: trace dir: %w", err)
 		}
 	}
 	// Results are keyed by the scheme's display name, so two sweep keys
@@ -174,11 +196,11 @@ func run(sw Sweep) (Results, error) {
 			factory, ok = reg[key]
 		}
 		if !ok {
-			return nil, fmt.Errorf("sim: unknown scheme %q", key)
+			return nil, 0, fmt.Errorf("sim: unknown scheme %q", key)
 		}
 		name := factory().Name()
 		if prev, ok := keyByName[name]; ok && prev != key {
-			return nil, fmt.Errorf("sim: scheme keys %q and %q share display name %q; their results would overwrite each other", prev, key, name)
+			return nil, 0, fmt.Errorf("sim: scheme keys %q and %q share display name %q; their results would overwrite each other", prev, key, name)
 		}
 		keyByName[name] = key
 		i := 0
@@ -222,12 +244,16 @@ func run(sw Sweep) (Results, error) {
 	}
 	type outcome struct {
 		scheme string
+		cohort string
 		idx    int
 		met    *player.Metrics
 		err    error
 	}
 	jobCh := make(chan job)
-	outCh := make(chan outcome, len(jobs))
+	// The collector drains outcomes as they finish, so the channel only
+	// needs to absorb scheduling jitter — not hold every session, which is
+	// what the streamed Fold path exists to avoid.
+	outCh := make(chan outcome, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -254,30 +280,63 @@ func run(sw Sweep) (Results, error) {
 				if err == nil && sw.TraceDir != "" {
 					err = writeSessionTrace(sw.TraceDir, j.scheme, j.idx, cfg.Trace)
 				}
-				outCh <- outcome{scheme: j.scheme, idx: j.idx, met: met, err: err}
+				cohort := j.cfg.Head.ClassName() + ":" + j.cfg.Bandwidth.NetClass()
+				outCh <- outcome{scheme: j.scheme, cohort: cohort, idx: j.idx, met: met, err: err}
 			}
 		}()
 	}
+
+	// One collector goroutine folds and/or retains outcomes as they land.
+	// Fold therefore runs single-threaded (the documented contract), and
+	// with a fold-only sweep nothing accumulates beyond the fold state.
+	retain := sw.Fold == nil || sw.RetainResults
+	var (
+		collectErr  error
+		sessions    int
+		byScheme    = map[string][]outcome{}
+		collectDone = make(chan struct{})
+	)
+	go func() {
+		defer close(collectDone)
+		for o := range outCh {
+			if o.err != nil {
+				if collectErr == nil {
+					collectErr = o.err
+				}
+				continue
+			}
+			if collectErr != nil {
+				continue // error pending; drop the rest
+			}
+			sessions++
+			if sw.Fold != nil {
+				sw.Fold(Session{Key: o.scheme, Index: o.idx, Cohort: o.cohort, Metrics: o.met})
+			}
+			if retain {
+				byScheme[o.scheme] = append(byScheme[o.scheme], o)
+			}
+		}
+	}()
 	for _, j := range jobs {
 		jobCh <- j
 	}
 	close(jobCh)
 	wg.Wait()
 	close(outCh)
+	<-collectDone
 
-	byScheme := map[string][]outcome{}
-	for o := range outCh {
-		if o.err != nil {
-			return nil, o.err
-		}
-		byScheme[o.scheme] = append(byScheme[o.scheme], o)
+	if collectErr != nil {
+		return nil, 0, collectErr
+	}
+	if !retain {
+		return nil, sessions, nil
 	}
 	res := Results{}
 	for key, outs := range byScheme {
 		sort.Slice(outs, func(a, b int) bool { return outs[a].idx < outs[b].idx })
 		name := outs[0].met.SchemeName
 		if _, dup := res[name]; dup {
-			return nil, fmt.Errorf("sim: duplicate display name %q (key %q)", name, key)
+			return nil, 0, fmt.Errorf("sim: duplicate display name %q (key %q)", name, key)
 		}
 		mets := make([]*player.Metrics, len(outs))
 		for i, o := range outs {
@@ -285,7 +344,7 @@ func run(sw Sweep) (Results, error) {
 		}
 		res[name] = mets
 	}
-	return res, nil
+	return res, sessions, nil
 }
 
 // writeSessionTrace dumps one session's event trace as JSONL.

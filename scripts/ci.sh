@@ -60,6 +60,13 @@ go test -race -run '^TestFleetChaos$' -count=1 -timeout 120s ./internal/experime
 # strictly more shedding for the over-budget cohort.
 go test -race -run '^TestQoEFeedback$' -count=1 -timeout 120s ./internal/experiments
 
+# Population-determinism gate: the sweep engine's contract is that the
+# same seed yields an identical merged rollup for any worker count and for
+# any shard split — including real subprocess shards merged over the JSONL
+# snapshot format. Seeded, uncached, under -race.
+go test -race -run '^TestWorkerCountInvariance$|^TestShardEquivalence$|^TestShardSubprocessEquivalence$' \
+	-count=1 -timeout 120s ./internal/popsim
+
 # Fuzz smoke: ten seconds per wire-format parser. The v3 framing work
 # (CRC trailers, hard length cap, resume bitmaps) lives or dies on these
 # parsers rejecting hostile bytes without panicking or over-allocating.
@@ -78,6 +85,7 @@ go test -run '^$' -bench='Fig|Table|Tiling|Ext|ManyConn' -benchtime=1x . | tee "
 go test -run '^$' -bench='Decide|Overlap' -benchtime="${BENCHTIME_MICRO:-50x}" . | tee -a "$raw"
 go test -run '^$' -bench='Frame' -benchtime="${BENCHTIME_MICRO:-50x}" ./internal/proto | tee -a "$raw"
 go test -run '^$' -bench='IngestFold' -benchtime="${BENCHTIME_MICRO:-50x}" ./internal/ingest | tee -a "$raw"
+go test -run '^$' -bench='PopulationSweep' -benchtime=1x ./internal/popsim | tee -a "$raw"
 if [ "$strict" = 1 ]; then
 	go run ./cmd/benchdiff -baseline BENCH_baseline.json -new "$raw"
 else
