@@ -37,6 +37,9 @@ func main() {
 	failThreshold := flag.Int("fail-threshold", balancer.DefaultFailThreshold, "consecutive probe failures before a backend is unhealthy")
 	recoverThreshold := flag.Int("recover-threshold", balancer.DefaultRecoverThreshold, "consecutive probe successes before an unhealthy backend is routable again")
 	dialTimeout := flag.Duration("dial-timeout", balancer.DefaultDialTimeout, "backend connect timeout when routing a session")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive dial/probe failures before a member's circuit opens (0 = 2x fail-threshold, negative = off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open circuit skips a member before the half-open trial (0 = 4x probe-interval)")
+	spliceStallBudget := flag.Duration("splice-stall-budget", 0, "cumulative excess write-stall time per spliced session before a slowloris peer is severed (0 = off)")
 	metricsMaxAge := flag.Duration("metrics-max-age", 0, "trust window for backend load data before falling back to round-robin (0 = 4x probe interval)")
 	adminAddr := flag.String("admin", "", "admin HTTP listen address serving the balancer's own /metrics (empty = off)")
 	flag.Parse()
@@ -82,15 +85,18 @@ func main() {
 	}
 
 	bl, err := balancer.New(balancer.Config{
-		Backends:         cfgs,
-		ProbeInterval:    *probeInterval,
-		ProbeTimeout:     *probeTimeout,
-		FailThreshold:    *failThreshold,
-		RecoverThreshold: *recoverThreshold,
-		DialTimeout:      *dialTimeout,
-		MetricsMaxAge:    *metricsMaxAge,
-		Obs:              reg,
-		Logf:             log.Printf,
+		Backends:          cfgs,
+		ProbeInterval:     *probeInterval,
+		ProbeTimeout:      *probeTimeout,
+		FailThreshold:     *failThreshold,
+		RecoverThreshold:  *recoverThreshold,
+		DialTimeout:       *dialTimeout,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
+		SpliceStallBudget: *spliceStallBudget,
+		MetricsMaxAge:     *metricsMaxAge,
+		Obs:               reg,
+		Logf:              log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

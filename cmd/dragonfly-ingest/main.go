@@ -37,6 +37,7 @@ func main() {
 	reg := obs.NewRegistry()
 	cfg := ingest.DefaultConfig()
 	cfg.Obs = reg
+	cfg.Logf = log.Printf
 	agg := ingest.New(cfg)
 
 	ctx, cancel := context.WithCancel(context.Background())

@@ -40,6 +40,7 @@ func main() {
 	maxQueue := flag.Int("max-queue", server.DefaultMaxQueue, "send-queue bound before slow-client shedding")
 	maxQueueBytes := flag.Int64("max-queue-bytes", 0, "per-session queued payload budget in bytes before shedding (0 = count bound only)")
 	maxConns := flag.Int("max-conns", 0, "admission limit; extra connections are fast-rejected with a retryable busy error (0 = unlimited)")
+	writeStallBudget := flag.Duration("write-stall-budget", 0, "cumulative excess write-stall time per session before a slowloris peer is killed (0 = off)")
 	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics and /debug/pprof/ (empty = off)")
 	traceDir := flag.String("trace-dir", "", "directory for server-view JSONL session traces for the ingest tier (empty = off)")
 	qoeRollup := flag.String("qoe-rollup", "", "ingest /rollup URL to poll for per-cohort shed-budget scales (empty = off)")
@@ -66,6 +67,7 @@ func main() {
 	srv.MaxQueue = *maxQueue
 	srv.MaxQueueBytes = *maxQueueBytes
 	srv.MaxConns = *maxConns
+	srv.WriteStallBudget = *writeStallBudget
 	srv.TraceDir = *traceDir
 
 	var link netem.Link

@@ -27,9 +27,25 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dragonfly/internal/chaos"
 	"dragonfly/internal/obs"
 	"dragonfly/internal/proto"
 )
+
+// Failpoints (docs/RESILIENCE.md, "Failpoint catalog"): balancer.dial
+// fails a backend route dial, balancer.probe fails a health-check
+// exchange, balancer.splice severs (error kinds) or stalls (delay) the
+// server→client byte stream mid-splice. All are one disarmed atomic load.
+var (
+	siteDial   = chaos.NewSite("balancer.dial")
+	siteProbe  = chaos.NewSite("balancer.probe")
+	siteSplice = chaos.NewSite("balancer.splice")
+)
+
+// ErrSpliceStall reports a splice torn down for exhausting the
+// SpliceStallBudget: the peer accepted bytes too slowly for too long and
+// the splice was severed rather than left pinning balancer resources.
+var ErrSpliceStall = errors.New("balancer: splice write-stall budget exhausted")
 
 // Defaults for Config's zero values.
 const (
@@ -75,6 +91,29 @@ type Config struct {
 	// picker stops trusting it (default 4×ProbeInterval).
 	MetricsMaxAge time.Duration
 
+	// BreakerThreshold is the consecutive-failure count (probe or route
+	// dial) at which a backend's circuit breaker trips: probing and
+	// routing to the member stop entirely for BreakerCooldown, then a
+	// single half-open probe trial decides between recovery (the normal
+	// RecoverThreshold path) and re-tripping. The breaker sits behind the
+	// health state — the default threshold of 2×FailThreshold means a
+	// member is first marked unhealthy (stops receiving sessions), and
+	// only sustained failure beyond that stops the prober from burning
+	// dials on it. 0 means 2×FailThreshold; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before the
+	// half-open trial. 0 means 4×ProbeInterval.
+	BreakerCooldown time.Duration
+
+	// SpliceStallBudget bounds the cumulative excess write time of each
+	// splice direction — the balancer's slowloris defense, mirroring
+	// Server.WriteStallBudget. Each copy write gets a free allowance of a
+	// tenth of the budget (at least 1 ms); beyond-allowance time
+	// accumulates and exhaustion severs the splice with ErrSpliceStall.
+	// The client's resume path recovers the session on a healthy member.
+	// 0 disables.
+	SpliceStallBudget time.Duration
+
 	// Obs, when non-nil, receives lb_* counters and gauges. Nil disables.
 	Obs *obs.Registry
 	// Logf receives transition diagnostics; nil silences logging.
@@ -114,6 +153,17 @@ type backend struct {
 	queueBytes float64
 	loadAt     time.Time // when active/draining were last refreshed
 	lastErr    error
+	// openUntil is the circuit breaker: while in the future, probes and
+	// routing skip this member entirely. The first probe after expiry is
+	// the half-open trial.
+	openUntil time.Time
+}
+
+// breakerOpen reports whether the member's circuit is open right now.
+func (b *backend) breakerOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Now().Before(b.openUntil)
 }
 
 // BackendStatus is a point-in-time view of one backend, for status
@@ -122,6 +172,7 @@ type BackendStatus struct {
 	Addr        string
 	Healthy     bool
 	Draining    bool
+	BreakerOpen bool
 	ActiveConns int64
 	QueueBytes  int64
 	Routed      int64
@@ -150,6 +201,12 @@ func New(cfg Config) (*Balancer, error) {
 	}
 	if cfg.MetricsMaxAge <= 0 {
 		cfg.MetricsMaxAge = 4 * cfg.ProbeInterval
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 2 * cfg.FailThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 4 * cfg.ProbeInterval
 	}
 	if cfg.Dial == nil {
 		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
@@ -194,6 +251,7 @@ func (bl *Balancer) Status() []BackendStatus {
 			Addr:        b.cfg.Addr,
 			Healthy:     b.healthy,
 			Draining:    b.draining,
+			BreakerOpen: time.Now().Before(b.openUntil),
 			ActiveConns: b.active,
 			QueueBytes:  int64(b.queueBytes),
 			Routed:      b.routed.Load(),
@@ -237,6 +295,13 @@ func (bl *Balancer) probeLoop(ctx context.Context, b *backend) {
 // is alive but unroutable (draining or saturated — admission control
 // fast-rejects before reading the probe); anything else is a failure.
 func (bl *Balancer) probeOnce(b *backend) {
+	if b.breakerOpen() {
+		// Open circuit: don't burn a dial on a member that just failed
+		// BreakerThreshold times in a row. The first probe after the
+		// cooldown is the half-open trial.
+		bl.cfg.Obs.Counter("lb_breaker_skips").Inc()
+		return
+	}
 	bl.cfg.Obs.Counter("lb_probes").Inc()
 	err := bl.exchangeProbe(b)
 	if err != nil {
@@ -255,6 +320,9 @@ func (bl *Balancer) probeOnce(b *backend) {
 }
 
 func (bl *Balancer) exchangeProbe(b *backend) error {
+	if err := siteProbe.Err(); err != nil {
+		return fmt.Errorf("probe: %w", err)
+	}
 	conn, err := bl.cfg.Dial(b.cfg.Addr, bl.cfg.ProbeTimeout)
 	if err != nil {
 		return fmt.Errorf("probe dial: %w", err)
@@ -328,6 +396,18 @@ func (bl *Balancer) noteProbe(b *backend, ok bool, err error) {
 			b.healthy = false
 			flipped = true
 		}
+		// Circuit breaker: sustained failure past the (stricter) breaker
+		// threshold opens the member's circuit for the cooldown — a
+		// half-open failure lands here again and re-opens it.
+		if bl.cfg.BreakerThreshold > 0 && b.failStreak >= bl.cfg.BreakerThreshold {
+			now := time.Now()
+			if !now.Before(b.openUntil) { // was closed (or just expired): a fresh trip
+				bl.cfg.Obs.Counter("lb_breaker_open").Inc()
+				bl.logf("balancer: backend %s breaker open for %v after %d consecutive failures",
+					b.cfg.Addr, bl.cfg.BreakerCooldown, b.failStreak)
+			}
+			b.openUntil = now.Add(bl.cfg.BreakerCooldown)
+		}
 	}
 	healthy := b.healthy
 	b.mu.Unlock()
@@ -361,7 +441,7 @@ func (b *backend) score() float64 {
 func (b *backend) routable() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.healthy && !b.draining
+	return b.healthy && !b.draining && !time.Now().Before(b.openUntil)
 }
 
 func (b *backend) loadFresh(maxAge time.Duration) bool {
@@ -420,7 +500,7 @@ func (bl *Balancer) route(ctx context.Context, clientConn net.Conn) {
 			_ = proto.WriteError(clientConn, proto.BusyText("no healthy backend"))
 			return
 		}
-		srvConn, err := bl.cfg.Dial(b.cfg.Addr, bl.cfg.DialTimeout)
+		srvConn, err := bl.dialBackend(b)
 		if err != nil {
 			// Passive detection: a failed route dial is as telling as a
 			// failed probe, and it arrives sooner.
@@ -439,6 +519,16 @@ func (bl *Balancer) route(ctx context.Context, clientConn net.Conn) {
 	}
 }
 
+// dialBackend opens the routing connection to a member, with the
+// balancer.dial failpoint in front so chaos runs can make a live member
+// look dead to the router (and charge its breaker) without touching it.
+func (bl *Balancer) dialBackend(b *backend) (net.Conn, error) {
+	if err := siteDial.Err(); err != nil {
+		return nil, err
+	}
+	return bl.cfg.Dial(b.cfg.Addr, bl.cfg.DialTimeout)
+}
+
 func (bl *Balancer) trackSplice(c net.Conn, add bool) {
 	bl.mu.Lock()
 	if add {
@@ -454,17 +544,94 @@ func (bl *Balancer) trackSplice(c net.Conn, add bool) {
 // fully returned, so every tile the backend counted as sent reaches the
 // client before the link drops. The fleet-wide zero-duplicate-send
 // invariant is proved over this property.
+//
+// With SpliceStallBudget set, both destination conns are wrapped in a
+// stall meter: a peer that blocks writes beyond the budget severs the
+// splice (ErrSpliceStall, lb_splice_stalls) instead of pinning the
+// balancer goroutines and the backend's queue bytes indefinitely. The
+// balancer.splice failpoint rides the server→client read side, severing
+// or stalling mid-stream to exercise exactly that recovery.
 func (bl *Balancer) splice(clientConn, srvConn net.Conn) {
+	var cdst, sdst net.Conn = clientConn, srvConn
+	if bud := bl.cfg.SpliceStallBudget; bud > 0 {
+		th := bud / 10
+		if th < time.Millisecond {
+			th = time.Millisecond
+		}
+		trip := func() {
+			bl.cfg.Obs.Counter("lb_splice_stalls").Inc()
+			bl.logf("balancer: %v", ErrSpliceStall)
+		}
+		cdst = &stallConn{Conn: clientConn, budget: bud, thresh: th, onTrip: trip}
+		sdst = &stallConn{Conn: srvConn, budget: bud, thresh: th, onTrip: trip}
+	}
 	done := make(chan struct{})
 	go func() {
-		_, _ = io.Copy(srvConn, clientConn)
+		_, _ = io.Copy(sdst, clientConn)
 		srvConn.Close()
 		close(done)
 	}()
-	_, _ = io.Copy(clientConn, srvConn)
+	_, _ = io.Copy(cdst, spliceSrc{srvConn})
 	srvConn.Close()
 	clientConn.Close()
 	<-done
+}
+
+// spliceSrc fronts the backend's read side of a splice with the
+// balancer.splice failpoint: error kinds sever the stream (the client
+// resumes elsewhere), delay stalls it.
+type spliceSrc struct{ net.Conn }
+
+func (c spliceSrc) Read(p []byte) (int, error) {
+	if f := siteSplice.Fault(); f.Active() {
+		if f.Kind == chaos.FaultDelay {
+			time.Sleep(f.Delay)
+		} else {
+			return 0, f.Err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// stallConn meters cumulative excess write time against a budget; see
+// Config.SpliceStallBudget. Each write gets thresh of blocking for free
+// and runs under a deadline of the remaining budget, so a fully hung peer
+// cannot out-wait the meter.
+type stallConn struct {
+	net.Conn
+	budget time.Duration
+	thresh time.Duration
+	spent  time.Duration
+	onTrip func()
+}
+
+func (c *stallConn) trip() error {
+	if c.onTrip != nil {
+		c.onTrip()
+		c.onTrip = nil
+	}
+	return ErrSpliceStall
+}
+
+func (c *stallConn) Write(p []byte) (int, error) {
+	rem := c.budget - c.spent
+	if rem <= 0 {
+		return 0, c.trip()
+	}
+	_ = c.Conn.SetWriteDeadline(time.Now().Add(rem + c.thresh))
+	start := time.Now()
+	n, err := c.Conn.Write(p)
+	if d := time.Since(start) - c.thresh; d > 0 {
+		c.spent += d
+	}
+	if err != nil {
+		if c.spent >= c.budget {
+			return n, fmt.Errorf("%w (after %v)", c.trip(), err)
+		}
+		return n, err
+	}
+	_ = c.Conn.SetWriteDeadline(time.Time{})
+	return n, nil
 }
 
 // Serve accepts client connections and routes each to a backend until the

@@ -1,0 +1,305 @@
+package balancer
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"dragonfly/internal/chaos"
+	"dragonfly/internal/leaktest"
+	"dragonfly/internal/netem"
+	"dragonfly/internal/obs"
+	"dragonfly/internal/proto"
+)
+
+// Chaos tests arm the process-global failpoint registry; none may run in
+// t.Parallel. Each disarms on cleanup.
+
+func armBalancer(t *testing.T, rules ...chaos.Rule) {
+	t.Helper()
+	if err := chaos.Arm(rules...); err != nil {
+		t.Fatalf("chaos.Arm: %v", err)
+	}
+	t.Cleanup(chaos.Disarm)
+}
+
+// TestBreakerTripsSkipsAndRecovers drives the full circuit-breaker arc
+// with injected probe faults against a perfectly healthy member: failures
+// past BreakerThreshold open the circuit, open-circuit probes are skipped
+// without burning a dial, the first probe after the cooldown is the
+// half-open trial, and a healthy trial recovers the member.
+func TestBreakerTripsSkipsAndRecovers(t *testing.T) {
+	f := newFleet("a")
+	reg := obs.NewRegistry()
+	bl, err := New(Config{
+		Backends:        backendConfigs("a"),
+		FailThreshold:   2, // breaker default: 2×2 = 4 consecutive failures
+		ProbeInterval:   10 * time.Millisecond,
+		BreakerCooldown: 50 * time.Millisecond,
+		Obs:             reg,
+		Dial:            f.dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bl.backends[0]
+
+	// Probes are driven by hand so every transition is deterministic.
+	armBalancer(t, chaos.Rule{Site: "balancer.probe", Kind: chaos.FaultError, Count: 4})
+	for i := 0; i < 4; i++ {
+		bl.probeOnce(b)
+	}
+	st := bl.Status()[0]
+	if st.Healthy {
+		t.Fatalf("member healthy after 4 injected probe failures")
+	}
+	if !st.BreakerOpen {
+		t.Fatalf("breaker not open after BreakerThreshold failures")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["lb_breaker_open"]; got != 1 {
+		t.Errorf("lb_breaker_open = %d, want 1", got)
+	}
+
+	// Open circuit: the probe is skipped entirely — no dial, no exchange.
+	probesBefore := snap.Counters["lb_probes"]
+	bl.probeOnce(b)
+	snap = reg.Snapshot()
+	if got := snap.Counters["lb_breaker_skips"]; got != 1 {
+		t.Errorf("lb_breaker_skips = %d, want 1", got)
+	}
+	if snap.Counters["lb_probes"] != probesBefore {
+		t.Errorf("open-circuit probe still burned a dial")
+	}
+	if b.routable() {
+		t.Errorf("open-circuit member still routable")
+	}
+
+	// Cooldown expires; the failpoint budget is spent, so the half-open
+	// trial reaches the (healthy) member and recovery proceeds normally.
+	time.Sleep(60 * time.Millisecond)
+	bl.probeOnce(b)
+	st = bl.Status()[0]
+	if !st.Healthy || st.BreakerOpen {
+		t.Fatalf("half-open trial did not recover: %+v", st)
+	}
+	if !b.routable() {
+		t.Errorf("recovered member not routable")
+	}
+}
+
+// TestBreakerHalfOpenFailureReTrips: a failed half-open trial counts as a
+// fresh trip (the streak persists past the threshold) and the circuit
+// opens again for a full cooldown.
+func TestBreakerHalfOpenFailureReTrips(t *testing.T) {
+	f := newFleet("a")
+	reg := obs.NewRegistry()
+	bl, err := New(Config{
+		Backends:        backendConfigs("a"),
+		FailThreshold:   1, // breaker at 2 consecutive failures
+		BreakerCooldown: 30 * time.Millisecond,
+		Obs:             reg,
+		Dial:            f.dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bl.backends[0]
+	armBalancer(t, chaos.Rule{Site: "balancer.probe", Kind: chaos.FaultError, Count: 3})
+	bl.probeOnce(b)
+	bl.probeOnce(b) // trips
+	if !bl.Status()[0].BreakerOpen {
+		t.Fatal("breaker not open after threshold")
+	}
+	time.Sleep(40 * time.Millisecond)
+	bl.probeOnce(b) // half-open trial fails → fresh trip
+	if !bl.Status()[0].BreakerOpen {
+		t.Fatal("failed half-open trial left the breaker closed")
+	}
+	if got := reg.Snapshot().Counters["lb_breaker_open"]; got != 2 {
+		t.Errorf("lb_breaker_open = %d, want 2 (initial trip + re-trip)", got)
+	}
+}
+
+// TestRouteDialFaultFailsOver: an injected route-dial fault on the first
+// pick charges that member's health passively and the session lands on the
+// next candidate — the client never notices.
+func TestRouteDialFaultFailsOver(t *testing.T) {
+	armBalancer(t, chaos.Rule{Site: "balancer.dial", Kind: chaos.FaultError, Count: 1})
+	f := newFleet("a", "b")
+	reg := obs.NewRegistry()
+	bl, err := New(Config{
+		Backends:      backendConfigs("a", "b"),
+		ProbeInterval: time.Hour, // passive detection only
+		Obs:           reg,
+		Dial:          f.dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := netemListener(t, bl)
+
+	c, err := lis.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = proto.WriteHello(c, proto.Hello{VideoID: "srv"}) }()
+	msg, err := proto.ReadMessage(c)
+	if err != nil || msg.Type != proto.MsgManifest {
+		t.Fatalf("session through faulted dial: %v / %+v", err, msg)
+	}
+	c.Close()
+	snap := reg.Snapshot()
+	if got := snap.Counters["lb_route_dial_fail"]; got != 1 {
+		t.Errorf("lb_route_dial_fail = %d, want 1", got)
+	}
+	if got := snap.Counters["lb_routed"]; got != 1 {
+		t.Errorf("lb_routed = %d, want 1", got)
+	}
+}
+
+// TestSpliceFaultSeversStream: an injected balancer.splice fault mid-splice
+// tears the session down; the client sees a dead link (its resume path is
+// the recovery), and the splice goroutines unwind.
+func TestSpliceFaultSeversStream(t *testing.T) {
+	armBalancer(t, chaos.Rule{Site: "balancer.splice", Kind: chaos.FaultError, After: 1})
+	f := newFleet("a")
+	bl, err := New(Config{
+		Backends:      backendConfigs("a"),
+		ProbeInterval: time.Hour,
+		Dial:          f.dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := netemListener(t, bl)
+
+	c, err := lis.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go func() { _ = proto.WriteHello(c, proto.Hello{VideoID: "srv"}) }()
+	// After: 1 lets the first server→client read (the manifest) through;
+	// the next read is severed.
+	if msg, err := proto.ReadMessage(c); err != nil || msg.Type != proto.MsgManifest {
+		t.Fatalf("manifest through splice: %v / %+v", err, msg)
+	}
+	if _, err := proto.ReadMessage(c); err == nil {
+		t.Fatal("severed splice still delivered bytes")
+	}
+	if chaos.Injections("balancer.splice") == 0 {
+		t.Error("no splice faults injected")
+	}
+}
+
+// TestSpliceStallBudgetSevers is the balancer slowloris defense: a client
+// that stops accepting bytes mid-splice exhausts SpliceStallBudget and the
+// splice is severed (counted) instead of pinning balancer goroutines and
+// backend queue bytes indefinitely.
+func TestSpliceStallBudgetSevers(t *testing.T) {
+	reg := obs.NewRegistry()
+	bl, err := New(Config{
+		Backends:          backendConfigs("a"),
+		SpliceStallBudget: 20 * time.Millisecond,
+		Obs:               reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clientConn, clientFar := net.Pipe()
+	srvConn, srvFar := net.Pipe()
+	// The "backend" floods data; the "client" (clientFar) never reads.
+	go func() {
+		buf := make([]byte, 32*1024)
+		for {
+			if _, err := srvFar.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	defer clientFar.Close()
+	defer srvFar.Close()
+
+	done := make(chan struct{})
+	go func() {
+		bl.splice(clientConn, srvConn)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled splice never severed")
+	}
+	if got := reg.Snapshot().Counters["lb_splice_stalls"]; got != 1 {
+		t.Errorf("lb_splice_stalls = %d, want 1", got)
+	}
+}
+
+// TestBalancerTeardownNoLeak is the satellite-4 assertion for this tier:
+// probes, routes, and splices started under injected dial/probe faults all
+// unwind on context cancellation.
+func TestBalancerTeardownNoLeak(t *testing.T) {
+	defer leaktest.Check(t)()
+	armBalancer(t,
+		chaos.Rule{Site: "balancer.dial", Kind: chaos.FaultError, Every: 2},
+		chaos.Rule{Site: "balancer.probe", Kind: chaos.FaultError, Every: 2},
+	)
+	f := newFleet("a", "b")
+	bl, err := New(Config{
+		Backends:      backendConfigs("a", "b"),
+		ProbeInterval: 5 * time.Millisecond,
+		ProbeTimeout:  50 * time.Millisecond,
+		FailThreshold: 2,
+		Dial:          f.dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := netem.NewPipeListener(netem.Link{})
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- bl.Serve(ctx, lis) }()
+
+	for i := 0; i < 4; i++ {
+		c, err := lis.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = proto.WriteHello(c, proto.Hello{VideoID: "srv"}) }()
+		// Read whatever comes (manifest or busy) and hang up.
+		_, _ = proto.ReadMessage(c)
+		c.Close()
+	}
+	time.Sleep(30 * time.Millisecond) // let probes hit the armed faults
+	cancel()
+	select {
+	case <-serveDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	if chaos.Injections("balancer.probe") == 0 {
+		t.Error("no probe faults injected during the run")
+	}
+}
+
+// netemListener serves bl on a fresh in-memory listener torn down with the
+// test.
+func netemListener(t *testing.T, bl *Balancer) *netem.PipeListener {
+	t.Helper()
+	lis := netem.NewPipeListener(netem.Link{})
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- bl.Serve(ctx, lis) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-serveDone:
+		case <-time.After(5 * time.Second):
+			t.Error("balancer Serve did not stop")
+		}
+	})
+	return lis
+}

@@ -1,10 +1,14 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
+
+	"dragonfly/internal/chaos"
 
 	"dragonfly/internal/core"
 	"dragonfly/internal/netem"
@@ -186,4 +190,88 @@ func TestPlayResilientBeatsNoReconnect(t *testing.T) {
 	if cutoff.MedianScore() >= resilient.MedianScore() {
 		t.Errorf("cutoff median %.2f should be below resilient %.2f", cutoff.MedianScore(), resilient.MedianScore())
 	}
+}
+
+// TestPlayResilientDeadFleetBudget is the satellite test for the total
+// reconnect budget: a fleet that refuses every dial (an always-refuse
+// client.dial failpoint) must fail the session with the typed
+// ErrReconnectBudget once TotalBudget elapses, no matter how many attempts
+// the per-outage policy would still allow.
+func TestPlayResilientDeadFleetBudget(t *testing.T) {
+	if err := chaos.Arm(chaos.Rule{Site: "client.dial", Kind: chaos.FaultError}); err != nil {
+		t.Fatalf("chaos.Arm: %v", err)
+	}
+	t.Cleanup(chaos.Disarm)
+
+	start := time.Now()
+	_, err := PlayResilient(func() (net.Conn, error) {
+		t.Error("dial reached the network past an armed always-refuse failpoint")
+		return nil, fmt.Errorf("unreachable")
+	}, "live", liveHead(4*time.Second), core.NewDefault(), PlayOptions{
+		Reconnect: ReconnectPolicy{
+			MaxAttempts: 1 << 20, // attempts alone would retry ~forever
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    5 * time.Millisecond,
+			TotalBudget: 100 * time.Millisecond,
+			Seed:        3,
+		},
+	})
+	if !errors.Is(err, ErrReconnectBudget) {
+		t.Fatalf("err = %v, want ErrReconnectBudget", err)
+	}
+	// The typed budget error is the %w chain; the last dial error rides
+	// along as text only, so callers classify on the budget, not the cause.
+	if !strings.Contains(err.Error(), "chaos: injected fault") {
+		t.Errorf("err = %v, want the last injected dial error in the text", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("budget of 100ms took %v to fire", elapsed)
+	}
+	if chaos.Injections("client.dial") == 0 {
+		t.Errorf("no dial faults injected")
+	}
+}
+
+// TestPlayResilientMidSessionBudgetDegrades: when the fleet dies after the
+// session is established (dial refuses from the second connect on), budget
+// exhaustion must degrade like link death — playback finishes on held tiles
+// and masking, it does not error out.
+func TestPlayResilientMidSessionBudgetDegrades(t *testing.T) {
+	// After: 1 lets the opening dial through; every later dial is refused.
+	if err := chaos.Arm(chaos.Rule{Site: "client.dial", Kind: chaos.FaultError, After: 1}); err != nil {
+		t.Fatalf("chaos.Arm: %v", err)
+	}
+	t.Cleanup(chaos.Disarm)
+
+	m := liveManifest()
+	srv := server.New(m)
+	srv.Heartbeat = 100 * time.Millisecond
+	fl := &netem.FaultLink{
+		Link: netem.Link{Trace: &trace.BandwidthTrace{SamplePeriod: time.Second, Mbps: []float64{20}}},
+		Schedule: &netem.FaultSchedule{Events: []netem.FaultEvent{
+			{At: 400 * time.Millisecond, Kind: netem.FaultDisconnect},
+		}},
+	}
+	defer fl.Stop()
+
+	met, err := PlayResilient(faultDialer(srv, fl), "live", liveHead(4*time.Second), core.NewDefault(), PlayOptions{
+		Reconnect: ReconnectPolicy{
+			MaxAttempts: 1 << 20,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+			ReadTimeout: 400 * time.Millisecond,
+			TotalBudget: 150 * time.Millisecond,
+			Seed:        9,
+		},
+	})
+	if err != nil {
+		t.Fatalf("mid-session budget exhaustion must not fail playback: %v", err)
+	}
+	if met.TotalFrames != m.NumFrames() {
+		t.Errorf("rendered %d frames, want %d", met.TotalFrames, m.NumFrames())
+	}
+	if met.Disconnects == 0 {
+		t.Errorf("schedule cut the link but Disconnects = 0")
+	}
+	checkAccounting(t, met)
 }

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"dragonfly/internal/chaos"
 	"dragonfly/internal/geom"
 	"dragonfly/internal/obs"
 	"dragonfly/internal/player"
@@ -33,6 +34,25 @@ import (
 // DialFunc re-establishes a server connection; the reconnector calls it on
 // every recovery attempt.
 type DialFunc func() (net.Conn, error)
+
+// client.dial fronts every dial the client performs — the opening
+// connect, handshake retries, and every reconnect attempt — so chaos runs
+// can refuse or stall connections fleet-wide (docs/RESILIENCE.md).
+var siteClientDial = chaos.NewSite("client.dial")
+
+// ErrReconnectBudget reports that ReconnectPolicy.TotalBudget elapsed with
+// the client still unable to reach a server: the fleet is, as far as this
+// session can tell, permanently dead. PlayResilient returns it (wrapped)
+// when the budget runs out before the first successful handshake.
+var ErrReconnectBudget = errors.New("client: total reconnect budget exhausted")
+
+// chaosDial is the failpoint-fronted dial every connect path uses.
+func chaosDial(dial DialFunc) (net.Conn, error) {
+	if err := siteClientDial.Err(); err != nil {
+		return nil, err
+	}
+	return dial()
+}
 
 // ReconnectPolicy tunes the client's fault tolerance. The zero value
 // disables reconnection: a connection error ends the session, as it always
@@ -57,6 +77,16 @@ type ReconnectPolicy struct {
 	WriteTimeout time.Duration
 	// Seed feeds the jitter RNG so experiments replay deterministically.
 	Seed int64
+	// TotalBudget caps the total wall-clock time the session may spend
+	// disconnected, summed across the opening dial and every outage.
+	// Exhaustion before the first successful handshake fails the session
+	// with a typed ErrReconnectBudget — a permanently dead fleet surfaces
+	// as a prompt, classifiable error instead of an unbounded retry loop.
+	// Mid-session exhaustion declares the link dead and playback carries
+	// on with what is held (the same degradation as running out of
+	// MaxAttempts — continuity is never sacrificed to a timer). 0 means
+	// no wall-clock cap.
+	TotalBudget time.Duration
 }
 
 // delay computes the backoff before the given (0-based) attempt.
@@ -177,12 +207,25 @@ func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, s
 		seed = 1
 	}
 	hsRng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+	// TotalBudget walls the whole opening phase: a fleet that refuses every
+	// dial fails with a typed, classifiable error when the clock runs out,
+	// even if MaxAttempts would have allowed further tries.
+	var dialDeadline time.Time
+	if b := opts.Reconnect.TotalBudget; b > 0 {
+		dialDeadline = time.Now().Add(b)
+	}
+	overBudget := func() bool {
+		return !dialDeadline.IsZero() && !time.Now().Before(dialDeadline)
+	}
 	var m *video.Manifest
 	var busyRejects int64
 	for attempt := 0; ; attempt++ {
 		if conn == nil {
-			c, err := dial()
+			c, err := chaosDial(dial)
 			if err != nil {
+				if overBudget() {
+					return nil, fmt.Errorf("client: dial: %w (last error: %v)", ErrReconnectBudget, err)
+				}
 				if attempt >= opts.Reconnect.MaxAttempts {
 					return nil, fmt.Errorf("client: dial: %w", err)
 				}
@@ -196,12 +239,19 @@ func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, s
 			m = m2
 			break
 		}
-		if dial == nil || !errors.Is(err, errBusy) || attempt >= opts.Reconnect.MaxAttempts {
+		retryable := errors.Is(err, errBusy) || errors.Is(err, errHandshakeLink)
+		if retryable && overBudget() {
+			conn.Close()
+			return nil, fmt.Errorf("client: handshake: %w (last error: %v)", ErrReconnectBudget, err)
+		}
+		if dial == nil || !retryable || attempt >= opts.Reconnect.MaxAttempts {
 			conn.Close()
 			return nil, err
 		}
-		busyRejects++
-		opts.Trace.Record(0, obs.EvBusy, int64(attempt+1))
+		if errors.Is(err, errBusy) {
+			busyRejects++
+			opts.Trace.Record(0, obs.EvBusy, int64(attempt+1))
+		}
 		conn.Close()
 		conn = nil
 		time.Sleep(opts.Reconnect.delay(attempt, hsRng))
@@ -248,6 +298,13 @@ func play(conn net.Conn, dial DialFunc, videoID string, head *trace.HeadTrace, s
 // limit or drain); it is retryable with backoff when a dialer is available.
 var errBusy = errors.New("client: server busy")
 
+// errHandshakeLink marks a handshake that died at the transport level —
+// the connection was severed between dial and manifest (an accept-path
+// drop, a mid-splice failure, a host dying under the dial). Like busy,
+// it is retryable with a fresh dial; unlike a server error message, the
+// server rejected nothing.
+var errHandshakeLink = errors.New("client: handshake link failure")
+
 // handshake sends the hello and reads the manifest on a fresh connection.
 func handshake(conn net.Conn, videoID, cohort string) (*video.Manifest, error) {
 	if err := proto.WriteHello(conn, proto.Hello{VideoID: videoID, Cohort: cohort}); err != nil {
@@ -261,11 +318,11 @@ func handshake(conn net.Conn, videoID, cohort string) (*video.Manifest, error) {
 			}
 			return nil, fmt.Errorf("client: server error: %s", msg.Error)
 		}
-		return nil, fmt.Errorf("client: hello: %w", err)
+		return nil, fmt.Errorf("%w: hello: %v", errHandshakeLink, err)
 	}
 	msg, err := proto.ReadMessage(conn)
 	if err != nil {
-		return nil, fmt.Errorf("client: read manifest: %w", err)
+		return nil, fmt.Errorf("%w: read manifest: %v", errHandshakeLink, err)
 	}
 	switch msg.Type {
 	case proto.MsgManifest:
@@ -462,10 +519,19 @@ func (s *session) reconnectLoop() {
 			s.mu.Unlock()
 			return
 		}
+		// TotalBudget counts disconnected wall-clock across all outages:
+		// what earlier outages already billed plus the current one so far.
+		// Exhaustion degrades exactly like running out of MaxAttempts —
+		// the link is declared dead below and playback continues on what
+		// is held.
+		if b := s.rp.TotalBudget; b > 0 && s.met.OutageDuration+(s.now()-s.downAt) > b {
+			s.mu.Unlock()
+			break
+		}
 		sum := s.received.Summary()
 		s.mu.Unlock()
 
-		conn, err := s.dial()
+		conn, err := chaosDial(s.dial)
 		if err != nil {
 			continue
 		}

@@ -1,0 +1,541 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dragonfly/internal/balancer"
+	"dragonfly/internal/chaos"
+	"dragonfly/internal/client"
+	"dragonfly/internal/core"
+	"dragonfly/internal/ingest"
+	"dragonfly/internal/netem"
+	"dragonfly/internal/obs"
+	"dragonfly/internal/player"
+	"dragonfly/internal/server"
+	"dragonfly/internal/store"
+	"dragonfly/internal/trace"
+	"dragonfly/internal/video"
+)
+
+// ChaosSoakParams scales the failpoint soak; the zero value runs the
+// acceptance configuration: 3 servers behind a balancer plus a full
+// ingest tier, 6 clients, every registered failpoint site armed from one
+// seeded schedule, and one server killed and cold-restarted mid-stream.
+type ChaosSoakParams struct {
+	Servers int // fleet size (default 3)
+	Clients int // concurrent sessions (default 6)
+	Chunks  int // video length in chunks/seconds (default 3)
+	Seed    int64
+
+	KillAt    time.Duration // kill one server abruptly (default 600 ms)
+	RestartAt time.Duration // cold-restart it (default 1.2 s)
+}
+
+// ChaosSoakOutcome is the fleet-wide accounting of one soak. The safety
+// assertions are exact: playback never stalls, every primary transmission
+// beyond one per (client, chunk, tile) slot is explained by a detected
+// payload corruption (a corrupt tile is dropped, never held, and its slot
+// legitimately re-sent), and the snapshot tier quarantines the corrupt
+// rollup a faulted writer left behind and recovers a healthy one.
+type ChaosSoakOutcome struct {
+	Servers, Clients int
+	Completed        int // sessions that rendered every frame untruncated
+	Instances        int // server instances across restarts
+
+	Totals          server.Counters
+	ExcessPrimary   int64 // primary sends beyond one per slot
+	CorruptDetected int64 // checksum-dropped tiles, summed over clients
+	RebufferTotal   time.Duration
+	Disconnects     int64
+	Routed          int64
+
+	InjectedTotal uint64 // faults injected across all sites
+	InjectedSites int    // distinct sites that actually fired
+	ArmedSites    int
+
+	// Ingest-tier hardening under fire.
+	PushRetries, PushDrops int64
+	RollupSessions         int64 // client sessions in the live rollup
+	ServerTraceSessions    int64 // server-view sessions folded by watchers
+	WatchErrs              int64
+	PollRetries, PollErrs  int64
+	Quarantined            int64
+	SnapshotSessions       int64
+	SnapshotRecovered      bool
+}
+
+// soakBackend is one fleet member running a real accept loop (so the
+// server.accept failpoint is on the path) over in-memory pipes. Kill is
+// abrupt: the accept loop stops and every live connection is severed
+// mid-frame; restart brings up a cold instance on the same address whose
+// only way back to session state is the client's resume bitmap.
+type soakBackend struct {
+	addr     string
+	m        *video.Manifest
+	link     netem.Link
+	reg      *obs.Registry
+	traceDir string
+	qoe      server.QoESource
+	parent   context.Context
+
+	mu        sync.Mutex
+	alive     bool
+	cur       *server.Server
+	lis       *netem.PipeListener
+	cancel    context.CancelFunc
+	serveDone chan struct{}
+	conns     []net.Conn
+	instances []*server.Server
+}
+
+// soakTap records accepted server-side conns so kill can sever them.
+type soakTap struct {
+	net.Listener
+	b *soakBackend
+}
+
+func (t *soakTap) Accept() (net.Conn, error) {
+	c, err := t.Listener.Accept()
+	if err == nil {
+		t.b.mu.Lock()
+		t.b.conns = append(t.b.conns, c)
+		t.b.mu.Unlock()
+	}
+	return c, err
+}
+
+func (b *soakBackend) start() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := server.New(b.m)
+	s.Heartbeat = 100 * time.Millisecond
+	s.WriteTimeout = 250 * time.Millisecond
+	s.TraceDir = b.traceDir
+	s.QoE = b.qoe
+	s.Obs = b.reg
+	ictx, cancel := context.WithCancel(b.parent)
+	lis := netem.NewPipeListener(b.link)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Serve(ictx, &soakTap{Listener: lis, b: b})
+	}()
+	b.cur, b.lis, b.cancel, b.serveDone = s, lis, cancel, done
+	b.alive = true
+	b.instances = append(b.instances, s)
+}
+
+func (b *soakBackend) dial() (net.Conn, error) {
+	b.mu.Lock()
+	if !b.alive {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("%s: connection refused", b.addr)
+	}
+	lis := b.lis
+	b.mu.Unlock()
+	return lis.Dial()
+}
+
+func (b *soakBackend) kill() {
+	b.mu.Lock()
+	b.alive = false
+	cancel, done := b.cancel, b.serveDone
+	dead := b.conns
+	b.conns = nil
+	b.mu.Unlock()
+	cancel()
+	for _, c := range dead {
+		c.Close()
+	}
+	<-done
+}
+
+func (b *soakBackend) totals() (server.Counters, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var t server.Counters
+	for _, s := range b.instances {
+		c := s.Counters()
+		t.PrimarySent += c.PrimarySent
+		t.MaskTileSent += c.MaskTileSent
+		t.MaskFullSent += c.MaskFullSent
+		t.BytesSent += c.BytesSent
+		t.Resumes += c.Resumes
+		t.ResumedItems += c.ResumedItems
+		t.CorruptFrames += c.CorruptFrames
+		t.RejectedConns += c.RejectedConns
+		t.Probes += c.Probes
+		t.WriteStallKills += c.WriteStallKills
+	}
+	return t, len(b.instances)
+}
+
+// soakRules is the all-tier schedule: every registered failpoint site is
+// armed with a bounded fault budget. High-traffic sites (frame builds,
+// batch writes, probes, splices, poll cycles) leave After/Every zero so
+// chaos.Schedule(seed, …) places them deterministically but differently
+// per seed; low-traffic sites (a handful of hits per run) pin Every:1 so
+// their faults land on the first hits regardless of seed.
+func soakRules() []chaos.Rule {
+	return []chaos.Rule{
+		// Seeded placement: these sites are hit hundreds of times per run.
+		{Site: "server.accept", Kind: chaos.FaultError, Count: 2},
+		{Site: "server.send.write", Kind: chaos.FaultError, Count: 1},
+		{Site: "store.frame", Kind: chaos.FaultCorrupt, Count: 2},
+		{Site: "balancer.dial", Kind: chaos.FaultError, Count: 2},
+		{Site: "balancer.probe", Kind: chaos.FaultError, Count: 2},
+		{Site: "balancer.splice", Kind: chaos.FaultError, Count: 1},
+		{Site: "ingest.feedback.poll", Kind: chaos.FaultError, Count: 2},
+		// Pinned placement: first hits fault, so a short run still proves
+		// the recovery path.
+		{Site: "server.trace.write", Kind: chaos.FaultError, Every: 1, Count: 1},
+		{Site: "client.dial", Kind: chaos.FaultError, Every: 1, Count: 2},
+		{Site: "ingest.watch.read", Kind: chaos.FaultError, Every: 1, Count: 2},
+		{Site: "ingest.snapshot.write", Kind: chaos.FaultCorrupt, Every: 1, Count: 1},
+		{Site: "ingest.push", Kind: chaos.FaultError, Every: 1, Count: 2},
+	}
+}
+
+// ExtChaosSoak runs the seeded all-tier failpoint soak: a balancer-fronted
+// fleet, a live ingest tier (HTTP push, trace watchers, periodic snapshots,
+// QoE feedback poller) and concurrent clients, with every registered
+// failpoint armed from one seeded schedule and one server killed and
+// cold-restarted mid-stream. The run must end with zero rebuffering, no
+// unexplained duplicate primary sends, no corrupt tile held, all telemetry
+// delivered through the retry paths, and the snapshot tier recovered from
+// a corrupt rollup a faulted writer planted.
+func ExtChaosSoak(env *Env, w io.Writer) (ChaosSoakOutcome, error) {
+	return extChaosSoak(env, w, ChaosSoakParams{})
+}
+
+func extChaosSoak(_ *Env, w io.Writer, p ChaosSoakParams) (ChaosSoakOutcome, error) {
+	if p.Servers <= 0 {
+		p.Servers = 3
+	}
+	if p.Clients <= 0 {
+		p.Clients = 6
+	}
+	if p.Chunks <= 0 {
+		p.Chunks = 3
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.KillAt <= 0 {
+		p.KillAt = 600 * time.Millisecond
+	}
+	if p.RestartAt <= 0 {
+		p.RestartAt = 1200 * time.Millisecond
+	}
+	out := ChaosSoakOutcome{Servers: p.Servers, Clients: p.Clients}
+
+	rules := chaos.Schedule(p.Seed, soakRules())
+	out.ArmedSites = len(rules)
+	if err := chaos.Arm(rules...); err != nil {
+		return out, fmt.Errorf("arm schedule: %w", err)
+	}
+	defer chaos.Disarm()
+
+	m := video.Generate(video.GenParams{
+		ID: "soak", Rows: 6, Cols: 6, NumChunks: p.Chunks,
+		TargetQP42Mbps: 0.8, TargetQP22Mbps: 6, Seed: 77,
+	})
+	store.Shared(m)
+	videoDur := time.Duration(p.Chunks) * time.Second
+	link := netem.Link{Trace: &trace.BandwidthTrace{SamplePeriod: time.Second, Mbps: []float64{16}}}
+
+	snapDir, err := os.MkdirTemp("", "dragonfly-soak-snap-")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(snapDir)
+	traceRoot, err := os.MkdirTemp("", "dragonfly-soak-traces-")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(traceRoot)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The ingest tier: one aggregator serving /ingest + /rollup, with the
+	// snapshot loop and trace watchers alongside.
+	ingReg := obs.NewRegistry()
+	icfg := ingest.DefaultConfig()
+	icfg.Obs = ingReg
+	agg := ingest.New(icfg)
+	ingAddr, _, err := agg.Serve(ctx, "127.0.0.1:0")
+	if err != nil {
+		return out, err
+	}
+	ingURL := "http://" + ingAddr.String()
+
+	// Plant the crash state the snapshot quarantine exists to recover
+	// from: the armed ingest.snapshot.write corrupt fault silently
+	// bit-rots rollup.json while reporting success — exactly what a dying
+	// writer (or rotting disk) leaves behind for the next process.
+	planted := false
+	for i := 0; i < 16 && !planted; i++ {
+		if _, err := agg.WriteSnapshot(snapDir); err != nil {
+			return out, fmt.Errorf("plant snapshot: %w", err)
+		}
+		planted = chaos.Injections("ingest.snapshot.write") > 0
+	}
+	if !planted {
+		return out, fmt.Errorf("snapshot corrupt fault never fired")
+	}
+
+	// The QoE feedback poller; its retry loop absorbs the armed
+	// ingest.feedback.poll faults without ever steering on partial data.
+	fbReg := obs.NewRegistry()
+	fb := ingest.NewFeedback(ingest.FeedbackConfig{
+		URL:      ingURL + "/rollup",
+		TargetDB: 50,
+		Interval: 150 * time.Millisecond,
+		MaxAge:   time.Minute,
+		Obs:      fbReg,
+		Seed:     p.Seed,
+	})
+	fbDone := make(chan struct{})
+	go func() {
+		defer close(fbDone)
+		fb.Run(ctx)
+	}()
+
+	// The fleet: real accept loops behind a balancer, each member writing
+	// server-view traces a watcher tails into a second aggregator (the
+	// same registry, so the ing_* counters land in one place).
+	backends := make(map[string]*soakBackend, p.Servers)
+	var order []*soakBackend
+	var cfgs []balancer.BackendConfig
+	srvAgg := ingest.New(ingest.Config{Obs: ingReg})
+	var watchers []*ingest.Watcher
+	for i := 0; i < p.Servers; i++ {
+		addr := fmt.Sprintf("s%d", i)
+		dir := filepath.Join(traceRoot, addr)
+		b := &soakBackend{addr: addr, m: m, link: link, reg: obs.NewRegistry(),
+			traceDir: dir, qoe: fb, parent: ctx}
+		b.start()
+		backends[addr] = b
+		order = append(order, b)
+		adminListen, _, err := obs.ServeAdmin(ctx, "127.0.0.1:0", b.reg)
+		if err != nil {
+			return out, err
+		}
+		cfgs = append(cfgs, balancer.BackendConfig{Addr: addr, AdminAddr: adminListen.String()})
+		watchers = append(watchers, ingest.NewWatcher(srvAgg, dir, 100*time.Millisecond))
+	}
+	var watchWG sync.WaitGroup
+	for _, wt := range watchers {
+		watchWG.Add(1)
+		go func(wt *ingest.Watcher) {
+			defer watchWG.Done()
+			wt.Run(ctx)
+		}(wt)
+	}
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		agg.RunSnapshots(ctx, snapDir, 150*time.Millisecond)
+	}()
+
+	rigDial := func(addr string, _ time.Duration) (net.Conn, error) {
+		b := backends[addr]
+		if b == nil {
+			return nil, fmt.Errorf("%s: no such backend", addr)
+		}
+		return b.dial()
+	}
+	lbReg := obs.NewRegistry()
+	bl, err := balancer.New(balancer.Config{
+		Backends:      cfgs,
+		ProbeInterval: 50 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+		FailThreshold: 2,
+		DialTimeout:   250 * time.Millisecond,
+		Obs:           lbReg,
+		Dial:          rigDial,
+	})
+	if err != nil {
+		return out, err
+	}
+	front := netem.NewPipeListener(netem.Link{})
+	go func() { _ = bl.Serve(ctx, front) }()
+
+	// One abrupt kill and cold restart mid-stream, on top of the armed
+	// faults: resume under chaos.
+	victim := order[1%len(order)]
+	killT := time.AfterFunc(p.KillAt, victim.kill)
+	restartT := time.AfterFunc(p.RestartAt, victim.start)
+	defer killT.Stop()
+	defer restartT.Stop()
+
+	// Client traces reach the ingest tier through the hardened pusher —
+	// the armed ingest.push faults are absorbed by its retry budget.
+	pusher := ingest.NewPusher(ingest.PushConfig{
+		URL:       ingURL + "/ingest",
+		BaseDelay: 20 * time.Millisecond,
+		MaxDelay:  200 * time.Millisecond,
+		Seed:      p.Seed,
+		Obs:       ingReg,
+	})
+
+	type result struct {
+		met *player.Metrics
+		err error
+	}
+	results := make([]result, p.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < p.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var dial client.DialFunc
+			if i%2 == 0 {
+				dial = front.Dial
+			} else {
+				addrs := make([]string, p.Servers)
+				for j := range addrs {
+					addrs[j] = order[(i+j)%p.Servers].addr
+				}
+				md := &client.MultiDialer{
+					Addrs:    addrs,
+					Backoff:  20 * time.Millisecond,
+					DialAddr: func(addr string, _ time.Duration) (net.Conn, error) { return rigDial(addr, 0) },
+				}
+				dial = md.Dial
+			}
+			head := trace.GenerateHead(trace.HeadGenParams{
+				UserID: fmt.Sprintf("soak-user-%d", i), Class: trace.MotionLow,
+				Duration: videoDur + time.Second, Seed: p.Seed + int64(i),
+			})
+			tr := obs.NewTrace(0)
+			met, err := client.PlayResilient(dial, "soak", head, core.NewDefault(), client.PlayOptions{
+				Reconnect: client.ReconnectPolicy{
+					MaxAttempts:  16,
+					BaseDelay:    20 * time.Millisecond,
+					MaxDelay:     200 * time.Millisecond,
+					ReadTimeout:  400 * time.Millisecond,
+					WriteTimeout: 250 * time.Millisecond,
+					Seed:         p.Seed + int64(i),
+				},
+				Trace:  tr,
+				Cohort: "soak:fleet",
+			})
+			results[i] = result{met, err}
+			if err != nil {
+				return
+			}
+			var buf writerBuffer
+			if werr := tr.WriteJSONL(&buf); werr != nil {
+				results[i].err = werr
+				return
+			}
+			if perr := pusher.Push(ctx, buf.b); perr != nil {
+				results[i].err = fmt.Errorf("push trace: %w", perr)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Let the watchers fold the trailing server traces and the poller run
+	// against the fully-populated rollup before tearing the tier down.
+	time.Sleep(400 * time.Millisecond)
+	cancel()
+	<-snapDone // the final snapshot lands after cancellation
+	<-fbDone
+	watchWG.Wait()
+
+	for i, r := range results {
+		if r.err != nil {
+			return out, fmt.Errorf("client %d: %w", i, r.err)
+		}
+		if r.met.TotalFrames == m.NumFrames() && !r.met.Truncated {
+			out.Completed++
+		}
+		out.CorruptDetected += r.met.CorruptTiles
+		out.RebufferTotal += r.met.RebufferDuration
+		out.Disconnects += int64(r.met.Disconnects)
+	}
+	for _, b := range order {
+		t, n := b.totals()
+		out.Instances += n
+		out.Totals.PrimarySent += t.PrimarySent
+		out.Totals.Resumes += t.Resumes
+		out.Totals.ResumedItems += t.ResumedItems
+		out.Totals.BytesSent += t.BytesSent
+		out.Totals.Probes += t.Probes
+		out.Totals.WriteStallKills += t.WriteStallKills
+	}
+	budget := int64(p.Clients) * int64(m.NumChunks*m.NumTiles())
+	out.ExcessPrimary = out.Totals.PrimarySent - budget
+	if out.ExcessPrimary < 0 {
+		out.ExcessPrimary = 0
+	}
+	out.Routed = lbReg.Counter("lb_routed").Value()
+
+	out.InjectedTotal = chaos.TotalInjections()
+	for _, name := range chaos.SiteNames() {
+		if chaos.Injections(name) > 0 {
+			out.InjectedSites++
+		}
+	}
+
+	out.PushRetries = ingReg.Counter("ing_push_retries").Value()
+	out.PushDrops = ingReg.Counter("ing_push_drops").Value()
+	out.WatchErrs = ingReg.Counter("ing_watch_errs").Value()
+	out.Quarantined = ingReg.Counter("ing_quarantined").Value()
+	out.PollRetries = fbReg.Counter("srv_qoe_poll_retries").Value()
+	out.PollErrs = fbReg.Counter("srv_qoe_poll_errs").Value()
+	for _, cr := range agg.Rollup().Cohorts {
+		out.RollupSessions += cr.Sessions
+	}
+	for _, cr := range srvAgg.Rollup().Cohorts {
+		out.ServerTraceSessions += cr.Sessions
+	}
+	if snap, rerr := ingest.ReadSnapshot(snapDir); rerr == nil {
+		out.SnapshotRecovered = true
+		for _, cr := range snap.Cohorts {
+			out.SnapshotSessions += cr.Sessions
+		}
+	}
+
+	fprintf(w, "== Extension: chaos-soak (all-tier failpoints + kill/restart under one seed) ==\n")
+	fprintf(w, "%d servers, %d clients; %d failpoint sites armed (seed %d); kill@%s restart@%s.\n\n",
+		p.Servers, p.Clients, out.ArmedSites, p.Seed, p.KillAt, p.RestartAt)
+	fprintf(w, "%-28s %10s\n", "metric", "value")
+	fprintf(w, "%-28s %10d\n", "sessions completed", out.Completed)
+	fprintf(w, "%-28s %10d\n", "server instances", out.Instances)
+	fprintf(w, "%-28s %10d\n", "faults injected", out.InjectedTotal)
+	fprintf(w, "%-28s %7d/%2d\n", "sites fired", out.InjectedSites, out.ArmedSites)
+	fprintf(w, "%-28s %10d\n", "disconnects survived", out.Disconnects)
+	fprintf(w, "%-28s %10d\n", "resumes", out.Totals.Resumes)
+	fprintf(w, "%-28s %10d\n", "excess primary sends", out.ExcessPrimary)
+	fprintf(w, "%-28s %10d\n", "corrupt tiles detected", out.CorruptDetected)
+	fprintf(w, "%-28s %10s\n", "rebuffer total", out.RebufferTotal.Round(time.Millisecond).String())
+	fprintf(w, "%-28s %10d\n", "push retries / drops", out.PushRetries)
+	fprintf(w, "%-28s %10d\n", "push drops", out.PushDrops)
+	fprintf(w, "%-28s %10d\n", "rollup sessions", out.RollupSessions)
+	fprintf(w, "%-28s %10d\n", "server traces folded", out.ServerTraceSessions)
+	fprintf(w, "%-28s %10d\n", "watch errors absorbed", out.WatchErrs)
+	fprintf(w, "%-28s %10d\n", "poll retries", out.PollRetries)
+	fprintf(w, "%-28s %10d\n", "snapshots quarantined", out.Quarantined)
+	fprintf(w, "%-28s %10v\n", "snapshot recovered", out.SnapshotRecovered)
+	return out, nil
+}
+
+// writerBuffer is a minimal append-only io.Writer; the trace body is
+// handed to the pusher as one []byte.
+type writerBuffer struct{ b []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

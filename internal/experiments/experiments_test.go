@@ -300,7 +300,7 @@ func TestTablesPrint(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All(4)
-	if len(all) != 25 {
+	if len(all) != 26 {
 		t.Errorf("registry has %d experiments", len(all))
 	}
 	seen := map[string]bool{}

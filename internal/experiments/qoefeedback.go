@@ -141,6 +141,9 @@ func extQoEFeedback(_ *Env, w io.Writer, p QoEFeedbackParams) (QoEFeedbackOutcom
 		return out, err
 	}
 	ingURL := "http://" + ingAddr.String()
+	// Traces travel through the hardened pusher, not a bare POST: the
+	// same bounded-retry path production producers use.
+	pusher := ingest.NewPusher(ingest.PushConfig{URL: ingURL + "/ingest", Seed: p.Seed, Obs: ingReg})
 
 	// ---- Phase A: trace firehose in, rollup quantiles out. -------------
 	// One cohort streams over a fast link, the other over a starved one,
@@ -184,14 +187,8 @@ func extQoEFeedback(_ *Env, w io.Writer, p QoEFeedbackParams) (QoEFeedbackOutcom
 					errc <- err
 					return
 				}
-				resp, err := http.Post(ingURL+"/ingest", "application/jsonl", &buf)
-				if err != nil {
+				if err := pusher.Push(ctx, buf.Bytes()); err != nil {
 					errc <- fmt.Errorf("push trace: %w", err)
-					return
-				}
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					errc <- fmt.Errorf("push trace: %s", resp.Status)
 					return
 				}
 				// The exact per-session statistic the rollup approximates:

@@ -77,6 +77,8 @@ func All(numStudyUsers int) []Experiment {
 			Run: func(env *Env, w io.Writer) error { _, err := ExtChaos(env, w); return err }},
 		{ID: "fleet-chaos", Description: "extension: balancer-fronted fleet with kill/cold-restart/drain mid-stream",
 			Run: func(env *Env, w io.Writer) error { _, err := ExtFleetChaos(env, w); return err }},
+		{ID: "chaos-soak", Description: "extension: all-tier seeded failpoint soak (fleet + ingest + feedback under injected faults)",
+			Run: func(env *Env, w io.Writer) error { _, err := ExtChaosSoak(env, w); return err }},
 		{ID: "qoe-feedback", Description: "extension: trace ingest -> cohort rollup -> QoE shed-budget feedback loop",
 			Run: func(env *Env, w io.Writer) error { _, err := ExtQoEFeedback(env, w); return err }},
 		{ID: "population", Description: "extension: population-scale sweep with streamed sketch aggregation (internal/popsim)",

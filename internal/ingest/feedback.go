@@ -4,12 +4,22 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
+	"math/rand"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
+	"dragonfly/internal/chaos"
 	"dragonfly/internal/obs"
 )
+
+// ingest.feedback.poll fails one rollup fetch attempt on the server's
+// side of the QoE loop. The loop is fail-static by design: a failed poll
+// keeps the previous scales, and sustained failure ages them past MaxAge
+// into the neutral fallback — never into stale steering.
+var siteFeedbackPoll = chaos.NewSite("ingest.feedback.poll")
 
 // FeedbackConfig tunes the rollup-driven shed-scale controller.
 type FeedbackConfig struct {
@@ -39,6 +49,15 @@ type FeedbackConfig struct {
 	// MinSessions ignores cohorts with fewer folded sessions (default 1):
 	// a single session's median is noise, not a cohort signal.
 	MinSessions int64
+
+	// MaxAttempts bounds the tries inside one Poll cycle (default 3):
+	// transient fetch failures retry with jittered backoff (RetryDelay,
+	// default Interval/8, ±50% jitter from Seed) under a whole-cycle
+	// deadline of one Interval, so a slow tier can never make polls
+	// overlap. Seed feeds the jitter RNG for deterministic replays.
+	MaxAttempts int
+	RetryDelay  time.Duration
+	Seed        int64
 
 	// Obs, when non-nil, receives the srv_qoe_* metrics — this registry
 	// is conventionally the server's own, so scale decisions land next to
@@ -72,6 +91,15 @@ func (c *FeedbackConfig) fillDefaults() {
 	if c.MinSessions <= 0 {
 		c.MinSessions = 1
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = c.Interval / 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{Timeout: 2 * time.Second}
 	}
@@ -91,10 +119,16 @@ type Feedback struct {
 	scales  map[string]float64
 	fetched time.Time
 
-	cPolls    *obs.Counter // srv_qoe_polls
-	cPollErrs *obs.Counter // srv_qoe_poll_errs
-	gStale    *obs.Gauge   // srv_qoe_stale: 1 when CohortScale is in fallback
-	gCohorts  *obs.Gauge   // srv_qoe_cohorts: cohorts with a live scale
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	cPolls      *obs.Counter // srv_qoe_polls
+	cPollErrs   *obs.Counter // srv_qoe_poll_errs
+	cRetries    *obs.Counter // srv_qoe_poll_retries: extra attempts within a cycle
+	cRejRollups *obs.Counter // srv_qoe_rejected_rollups: whole documents refused
+	cRejCohorts *obs.Counter // srv_qoe_rejected_cohorts: cohort entries refused
+	gStale      *obs.Gauge   // srv_qoe_stale: 1 when CohortScale is in fallback
+	gCohorts    *obs.Gauge   // srv_qoe_cohorts: cohorts with a live scale
 }
 
 // NewFeedback creates a poller; call Run (or Poll from a test) to feed it.
@@ -102,12 +136,16 @@ func NewFeedback(cfg FeedbackConfig) *Feedback {
 	cfg.fillDefaults()
 	r := cfg.Obs
 	return &Feedback{
-		cfg:       cfg,
-		scales:    map[string]float64{},
-		cPolls:    r.Counter("srv_qoe_polls"),
-		cPollErrs: r.Counter("srv_qoe_poll_errs"),
-		gStale:    r.Gauge("srv_qoe_stale"),
-		gCohorts:  r.Gauge("srv_qoe_cohorts"),
+		cfg:         cfg,
+		scales:      map[string]float64{},
+		rng:         rand.New(rand.NewSource(cfg.Seed ^ 0x7f4a7c15)),
+		cPolls:      r.Counter("srv_qoe_polls"),
+		cPollErrs:   r.Counter("srv_qoe_poll_errs"),
+		cRetries:    r.Counter("srv_qoe_poll_retries"),
+		cRejRollups: r.Counter("srv_qoe_rejected_rollups"),
+		cRejCohorts: r.Counter("srv_qoe_rejected_cohorts"),
+		gStale:      r.Gauge("srv_qoe_stale"),
+		gCohorts:    r.Gauge("srv_qoe_cohorts"),
 	}
 }
 
@@ -126,9 +164,49 @@ func (f *Feedback) Run(ctx context.Context) {
 	}
 }
 
-// Poll fetches the rollup once and recomputes every cohort's scale.
+// Poll fetches the rollup and recomputes every cohort's scale, retrying
+// transient fetch failures up to MaxAttempts inside a whole-cycle deadline
+// of one Interval. A cycle that exhausts its budget is fail-static: the
+// previous scales stand, and sustained failure ages them past MaxAge into
+// the neutral fallback.
 func (f *Feedback) Poll(ctx context.Context) error {
 	f.cPolls.Inc()
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.Interval)
+	defer cancel()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		lastErr = f.pollOnce(ctx)
+		if lastErr == nil {
+			return nil
+		}
+		if attempt >= f.cfg.MaxAttempts {
+			break
+		}
+		f.cRetries.Inc()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%v (cycle deadline: %w)", lastErr, ctx.Err())
+		case <-time.After(f.retryDelay()):
+		}
+	}
+	return lastErr
+}
+
+// retryDelay is RetryDelay with ±50% deterministic jitter.
+func (f *Feedback) retryDelay() time.Duration {
+	f.rngMu.Lock()
+	j := f.rng.Float64()
+	f.rngMu.Unlock()
+	d := f.cfg.RetryDelay
+	return d/2 + time.Duration(j*float64(d))
+}
+
+// pollOnce performs one fetch + apply.
+func (f *Feedback) pollOnce(ctx context.Context) error {
+	if err := siteFeedbackPoll.Err(); err != nil {
+		f.cPollErrs.Inc()
+		return err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.URL, nil)
 	if err != nil {
 		f.cPollErrs.Inc()
@@ -149,15 +227,54 @@ func (f *Feedback) Poll(ctx context.Context) error {
 		f.cPollErrs.Inc()
 		return err
 	}
-	f.Apply(ru)
+	if err := f.Apply(ru); err != nil {
+		f.cPollErrs.Inc()
+		return err
+	}
 	return nil
 }
 
-// Apply recomputes scales from an already-fetched rollup (the poll path
-// and in-process tests share it).
-func (f *Feedback) Apply(ru Rollup) {
-	scales := make(map[string]float64, len(ru.Cohorts))
-	for name, cr := range ru.Cohorts {
+// maxFeedbackCohorts bounds one rollup's cohort count on the consuming
+// side: the server multiplies budgets by at most this many live scales, so
+// a runaway (or hostile) rollup cannot allocate an unbounded scale map or
+// mint an unbounded srv_qoe_scale_* gauge family.
+const maxFeedbackCohorts = 1024
+
+// maxCohortNameLen matches the sanity bound on the fold side.
+const maxCohortNameLen = 128
+
+// Apply validates an already-fetched rollup and recomputes scales from it
+// (the poll path and in-process tests share it). Validation is the wall
+// between telemetry and steering: a rollup from a different schema version
+// is refused whole (srv_qoe_rejected_rollups), and any cohort carrying a
+// non-finite or negative quality quantile, a negative session count, or an
+// unusable name is skipped (srv_qoe_rejected_cohorts) so a poisoned
+// document degrades to neutral instead of pinning shed budgets at a clamp.
+// SchemaVersion 0 is accepted for in-process rollups that never crossed a
+// serialization boundary.
+func (f *Feedback) Apply(ru Rollup) error {
+	if ru.SchemaVersion != 0 && ru.SchemaVersion != obs.TraceSchemaVersion {
+		f.cRejRollups.Inc()
+		return fmt.Errorf("ingest: rollup schema version %d (want %d): refusing to steer",
+			ru.SchemaVersion, obs.TraceSchemaVersion)
+	}
+	names := make([]string, 0, len(ru.Cohorts))
+	for name := range ru.Cohorts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) > maxFeedbackCohorts {
+		// Deterministic truncation (sorted order), counted as rejects.
+		f.cRejCohorts.Add(int64(len(names) - maxFeedbackCohorts))
+		names = names[:maxFeedbackCohorts]
+	}
+	scales := make(map[string]float64, len(names))
+	for _, name := range names {
+		cr := ru.Cohorts[name]
+		if name == "" || len(name) > maxCohortNameLen || cr.Sessions < 0 || !finiteQuality(cr.QualityDB) {
+			f.cRejCohorts.Inc()
+			continue
+		}
 		if cr.Sessions < f.cfg.MinSessions || cr.QualityDB.Count == 0 {
 			continue
 		}
@@ -169,6 +286,22 @@ func (f *Feedback) Apply(ru Rollup) {
 	f.fetched = time.Now()
 	f.mu.Unlock()
 	f.gCohorts.Set(float64(len(scales)))
+	return nil
+}
+
+// finiteQuality reports whether a quality distribution is usable for
+// steering: every field finite, counts and quantiles non-negative. The
+// quantiles are dB-vs-reference values that are non-negative by
+// construction on the fold side; NaN, ±Inf, or a negative here means the
+// document was corrupted or forged, and acting on it would clamp the
+// cohort's scale to an extreme.
+func finiteQuality(d Distribution) bool {
+	for _, v := range [...]float64{d.Mean, d.P10, d.P25, d.P50, d.P90, d.P99} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return false
+		}
+	}
+	return d.Count >= 0
 }
 
 // scaleFor maps a cohort median quality to a shed-budget scale: 1 inside

@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"dragonfly/internal/chaos"
 )
 
 // Handler returns the ingest service's HTTP surface:
@@ -92,6 +94,14 @@ func (a *Aggregator) Serve(ctx context.Context, addr string) (net.Addr, <-chan e
 // SnapshotFile is the rollup document's filename inside the snapshot dir.
 const SnapshotFile = "rollup.json"
 
+// ingest.snapshot.write is the disk-tier snapshot failpoint: error fails
+// the write cleanly (ENOSPC-style), partial leaves a torn rollup.json in
+// place — the state a crash mid-write on a filesystem without atomic
+// rename semantics (or a previous, rename-less version) leaves behind —
+// and corrupt silently flips a byte in an otherwise successful write.
+// QuarantineSnapshot is the recovery the torn/corrupt kinds exist to test.
+var siteSnapWrite = chaos.NewSite("ingest.snapshot.write")
+
 // WriteSnapshot writes the current rollup to dir/rollup.json via a
 // same-directory rename, so readers never observe a torn document.
 func (a *Aggregator) WriteSnapshot(dir string) (string, error) {
@@ -102,9 +112,13 @@ func (a *Aggregator) WriteSnapshot(dir string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	data = append(data, '\n')
 	final := filepath.Join(dir, SnapshotFile)
+	if f := siteSnapWrite.Fault(); f.Active() {
+		return snapshotFaulted(final, data, f)
+	}
 	tmp := final + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return "", err
 	}
 	if err := os.Rename(tmp, final); err != nil {
@@ -113,14 +127,57 @@ func (a *Aggregator) WriteSnapshot(dir string) (string, error) {
 	return final, nil
 }
 
+// snapshotFaulted implements the armed ingest.snapshot.write kinds. The
+// partial and corrupt kinds deliberately bypass the tmp+rename discipline:
+// they plant the on-disk states (torn document, silent bit rot) that
+// discipline normally rules out, so the startup quarantine path has
+// something real to recover from.
+func snapshotFaulted(final string, data []byte, f chaos.Fault) (string, error) {
+	switch f.Kind {
+	case chaos.FaultDelay:
+		time.Sleep(f.Delay)
+		tmp := final + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return "", err
+		}
+		if err := os.Rename(tmp, final); err != nil {
+			return "", err
+		}
+		return final, nil
+	case chaos.FaultPartial:
+		k := int(float64(len(data)) * f.Frac)
+		_ = os.WriteFile(final, data[:k], 0o644)
+		return "", fmt.Errorf("ingest: snapshot %s: %w", final, f.Err)
+	case chaos.FaultCorrupt:
+		if len(data) > 0 {
+			data = append([]byte(nil), data...)
+			data[int(f.Tick%uint64(len(data)))] ^= 0x40
+		}
+		if err := os.WriteFile(final, data, 0o644); err != nil {
+			return "", err
+		}
+		return final, nil // the writer believes it succeeded
+	default:
+		return "", fmt.Errorf("ingest: snapshot %s: %w", final, f.Err)
+	}
+}
+
 // RunSnapshots writes a snapshot every interval until ctx is done, then
-// writes one final snapshot so the file reflects everything folded.
+// writes one final snapshot so the file reflects everything folded. On
+// entry it quarantines any corrupt or torn snapshot a previous process
+// left behind (QuarantineSnapshot), so the tier never serves — or keeps
+// alive on disk — a document it cannot itself parse. A failed write is
+// logged and counted, never fatal: the next tick retries.
 func (a *Aggregator) RunSnapshots(ctx context.Context, dir string, interval time.Duration) {
 	cSnaps := a.cfg.Obs.Counter("ing_snapshots")
 	cErrs := a.cfg.Obs.Counter("ing_snapshot_errs")
+	if _, err := a.QuarantineSnapshot(dir); err != nil {
+		a.logf("ingest: snapshot quarantine %s: %v", dir, err)
+	}
 	write := func() {
 		if _, err := a.WriteSnapshot(dir); err != nil {
 			cErrs.Inc()
+			a.logf("ingest: %v", err)
 			return
 		}
 		cSnaps.Inc()

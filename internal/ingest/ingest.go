@@ -55,6 +55,12 @@ type Config struct {
 	// Obs, when non-nil, receives the ing_* metrics (events, sessions,
 	// rejects, cohort count) for the admin endpoint.
 	Obs *obs.Registry
+
+	// Logf receives tailer and snapshot diagnostics (a trace file deleted
+	// mid-read, a failed or quarantined snapshot); nil silences logging.
+	// Every condition Logf reports is also counted in an ing_* metric —
+	// the log line carries the path and error the counter cannot.
+	Logf func(format string, args ...any)
 }
 
 // DefaultConfig returns the production sketch geometry.
@@ -127,6 +133,12 @@ func New(cfg Config) *Aggregator {
 		evRejected: r.Counter("ing_rejected_events"),
 		evBadLines: r.Counter("ing_bad_lines"),
 		gCohorts:   r.Gauge("ing_cohorts"),
+	}
+}
+
+func (a *Aggregator) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
 	}
 }
 

@@ -1,0 +1,185 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"dragonfly/internal/chaos"
+	"dragonfly/internal/obs"
+)
+
+// ingest.push fails one POST /ingest attempt on the pusher's side — the
+// network fault a partitioned or restarting ingest tier surfaces as. The
+// Pusher's bounded retry is the recovery under test.
+var sitePush = chaos.NewSite("ingest.push")
+
+// PushConfig tunes a Pusher.
+type PushConfig struct {
+	// URL is the ingest service's /ingest endpoint.
+	URL string
+
+	// MaxAttempts bounds tries per Push (default 4). BaseDelay is the
+	// first backoff (default 100 ms), doubling up to MaxDelay (default
+	// 2 s) with ±50% deterministic jitter from Seed. Deadline caps one
+	// Push's total wall clock including backoffs (default 10 s) — a
+	// trace push must never wedge its caller behind a dead tier.
+	MaxAttempts int
+	BaseDelay   time.Duration
+	MaxDelay    time.Duration
+	Deadline    time.Duration
+	Seed        int64
+
+	// Obs, when non-nil, receives ing_push_retries / ing_push_drops.
+	Obs *obs.Registry
+	// Logf receives drop diagnostics; nil silences logging.
+	Logf func(format string, args ...any)
+	// HTTPClient overrides the poster (tests); nil uses a 2 s-timeout
+	// default so one hung attempt cannot eat the whole deadline.
+	HTTPClient *http.Client
+}
+
+// Pusher delivers JSONL trace bodies to an ingest tier with bounded
+// jittered-backoff retry: transient failures (network errors, 5xx, 429)
+// are retried inside the attempt and wall-clock budgets, permanent
+// rejections (other 4xx — the body itself is bad) fail immediately, and
+// an exhausted budget drops the batch with a count (ing_push_drops)
+// rather than blocking the pipeline. Telemetry is lossy by contract;
+// what is never acceptable is a telemetry push wedging its producer.
+type Pusher struct {
+	cfg PushConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	cPushes  *obs.Counter // ing_pushes: Push calls
+	cRetries *obs.Counter // ing_push_retries: extra attempts beyond the first
+	cDrops   *obs.Counter // ing_push_drops: batches abandoned after budget exhaustion
+}
+
+// NewPusher validates cfg and builds a pusher.
+func NewPusher(cfg PushConfig) *Pusher {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 100 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Second
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 10 * time.Second
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 2 * time.Second}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	r := cfg.Obs
+	return &Pusher{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(seed)),
+		cPushes:  r.Counter("ing_pushes"),
+		cRetries: r.Counter("ing_push_retries"),
+		cDrops:   r.Counter("ing_push_drops"),
+	}
+}
+
+// backoff computes the jittered delay before retry attempt (1-based).
+func (p *Pusher) backoff(attempt int) time.Duration {
+	d := p.cfg.BaseDelay
+	for i := 1; i < attempt && d < p.cfg.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.cfg.MaxDelay {
+		d = p.cfg.MaxDelay
+	}
+	p.mu.Lock()
+	j := p.rng.Float64()
+	p.mu.Unlock()
+	return d/2 + time.Duration(j*float64(d))
+}
+
+// permanentStatus reports a response the retry loop must not repeat: the
+// server understood the request and rejected the body itself.
+func permanentStatus(code int) bool {
+	return code >= 400 && code < 500 && code != http.StatusTooManyRequests
+}
+
+// Push posts one JSONL trace body, retrying transient failures inside the
+// configured budgets. The returned error is nil on delivery; otherwise the
+// batch was dropped (counted) and the error says why.
+func (p *Pusher) Push(ctx context.Context, body []byte) error {
+	p.cPushes.Inc()
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.Deadline)
+	defer cancel()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		lastErr = p.attempt(ctx, body)
+		if lastErr == nil {
+			return nil
+		}
+		var perm *permanentPushError
+		if errors.As(lastErr, &perm) {
+			break
+		}
+		if attempt >= p.cfg.MaxAttempts {
+			break
+		}
+		p.cRetries.Inc()
+		select {
+		case <-ctx.Done():
+			lastErr = fmt.Errorf("%v (deadline: %w)", lastErr, ctx.Err())
+			attempt = p.cfg.MaxAttempts // budget gone
+		case <-time.After(p.backoff(attempt)):
+			continue
+		}
+		break
+	}
+	p.cDrops.Inc()
+	if p.cfg.Logf != nil {
+		p.cfg.Logf("ingest: push %s: dropping %d-byte batch: %v", p.cfg.URL, len(body), lastErr)
+	}
+	return fmt.Errorf("ingest: push %s: %w", p.cfg.URL, lastErr)
+}
+
+// attempt performs one POST.
+func (p *Pusher) attempt(ctx context.Context, body []byte) error {
+	if err := sitePush.Err(); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.cfg.URL, bytes.NewReader(body))
+	if err != nil {
+		return &permanentPushError{err}
+	}
+	req.Header.Set("Content-Type", "application/jsonl")
+	resp, err := p.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	serr := fmt.Errorf("status %s", resp.Status)
+	if permanentStatus(resp.StatusCode) {
+		return &permanentPushError{serr}
+	}
+	return serr
+}
+
+// permanentPushError marks a failure retrying cannot fix.
+type permanentPushError struct{ err error }
+
+func (e *permanentPushError) Error() string { return e.err.Error() }
+func (e *permanentPushError) Unwrap() error { return e.err }

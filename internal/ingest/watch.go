@@ -9,11 +9,26 @@ import (
 	"strings"
 	"time"
 
+	"dragonfly/internal/chaos"
 	"dragonfly/internal/obs"
 )
 
+// ingest.watch.read fails one file's consume pass — the disk-tier fault a
+// trace file deleted mid-read or an EIO on its read surfaces as. The
+// tailer's contract: log it, count it (ing_watch_errs), keep the loop
+// alive, and pick the file back up when it becomes readable again.
+var siteWatchRead = chaos.NewSite("ingest.watch.read")
+
 // DefaultWatchInterval is the directory rescan period when Config leaves it 0.
 const DefaultWatchInterval = 500 * time.Millisecond
+
+// maxPartialLine bounds the carried partial-line buffer per tailed file.
+// A writer that stops mid-line holds at most this much; a newline-free
+// flood (a corrupt or non-JSONL file matching the glob) is dropped and
+// counted (ing_bad_lines) instead of growing the buffer without bound.
+// It matches FoldReader's 1 MiB scanner cap — lines longer than this are
+// rejected by the fold anyway.
+const maxPartialLine = 1 << 20
 
 // Watcher tails every *.jsonl file in a directory, folding appended lines
 // into the Aggregator as servers write them. It is poll-based (stdlib
@@ -41,7 +56,11 @@ type Watcher struct {
 type tailFile struct {
 	offset  int64
 	partial []byte // bytes after the last newline, carried to the next scan
-	sf      *SessionFold
+	// overflow marks a line that outgrew maxPartialLine: its buffered
+	// prefix was dropped and the remainder is discarded up to the next
+	// newline, re-synchronizing the tail on line boundaries.
+	overflow bool
+	sf       *SessionFold
 }
 
 // NewWatcher tails dir into a. interval 0 means DefaultWatchInterval.
@@ -100,7 +119,13 @@ func (w *Watcher) Scan() error {
 			w.files[path] = tf
 		}
 		if err := w.consume(path, tf); err != nil {
+			// Survive, don't abandon: a file deleted mid-read, an EIO, a
+			// permission flip — the tail loop logs and counts the error,
+			// keeps its offset, and retries this file on the next scan
+			// (or drops its state below once the directory listing agrees
+			// it is gone).
 			w.cScanErrs.Inc()
+			w.a.logf("ingest: tail %s: %v", path, err)
 		}
 	}
 	for path, tf := range w.files {
@@ -115,6 +140,9 @@ func (w *Watcher) Scan() error {
 
 // consume folds everything past tf.offset.
 func (w *Watcher) consume(path string, tf *tailFile) error {
+	if err := siteWatchRead.Err(); err != nil {
+		return err
+	}
 	fi, err := os.Stat(path)
 	if err != nil {
 		return err
@@ -146,10 +174,29 @@ func (w *Watcher) consume(path string, tf *tailFile) error {
 			for {
 				nl := bytes.IndexByte(chunk, '\n')
 				if nl < 0 {
+					if tf.overflow {
+						break // still discarding an oversized line
+					}
+					if len(tf.partial)+len(chunk) > maxPartialLine {
+						// Bound the carry: drop the runaway line and
+						// discard until its newline instead of buffering
+						// a newline-free flood without limit.
+						tf.partial = tf.partial[:0]
+						tf.overflow = true
+						w.a.evBadLines.Inc()
+						w.a.logf("ingest: tail %s: dropping line longer than %d bytes", path, maxPartialLine)
+						break
+					}
 					tf.partial = append(tf.partial, chunk...)
 					break
 				}
 				line := chunk[:nl]
+				chunk = chunk[nl+1:]
+				if tf.overflow {
+					// The tail of the dropped oversized line; resync here.
+					tf.overflow = false
+					continue
+				}
 				if len(tf.partial) > 0 {
 					line = append(tf.partial, line...)
 					tf.partial = tf.partial[:0]
@@ -157,7 +204,6 @@ func (w *Watcher) consume(path string, tf *tailFile) error {
 				if len(bytes.TrimSpace(line)) > 0 {
 					tf.sf.Line(line)
 				}
-				chunk = chunk[nl+1:]
 			}
 		}
 		if rerr == io.EOF {

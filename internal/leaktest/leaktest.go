@@ -1,0 +1,64 @@
+// Package leaktest asserts that a test leaves no goroutines behind.
+//
+// The check is a before/after snapshot of runtime.NumGoroutine with a
+// bounded retry, because teardown is asynchronous almost everywhere in
+// this codebase: a closed listener's accept loop, a canceled session's
+// sender, a prober's final ping all take a few scheduler ticks to unwind.
+// The retry loop polls until the count returns to (at or below) the
+// baseline plus a small slack, and only fails after the deadline — so a
+// pass is prompt and a genuine leak fails with the final count.
+//
+// Usage, first line of the test:
+//
+//	defer leaktest.Check(t)()
+//
+// The package deliberately takes a minimal TB interface instead of
+// importing testing, so production packages' internal test helpers can
+// share it without linking testing into non-test binaries.
+package leaktest
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots the goroutine count and returns the function that
+// asserts it has returned to baseline; defer the returned func.
+// Slack of 2 tolerates runtime housekeeping goroutines (timer scavenger,
+// race-detector bookkeeping) that come and go underneath the test.
+func Check(t TB) func() {
+	return CheckTimeout(t, 5*time.Second)
+}
+
+// CheckTimeout is Check with an explicit settle deadline.
+func CheckTimeout(t TB, timeout time.Duration) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		const slack = 2
+		deadline := time.Now().Add(timeout)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after %v settle (slack %d)\n%s",
+			before, after, timeout, slack, string(buf[:n]))
+	}
+}

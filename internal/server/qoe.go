@@ -7,8 +7,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dragonfly/internal/chaos"
 	"dragonfly/internal/obs"
 )
+
+// server.trace.write fails the session-trace flush (disk full, unlinked
+// TraceDir). The contract under test: tracing must never fail a session —
+// the error is logged and the session's outcome is unchanged.
+var siteTraceWrite = chaos.NewSite("server.trace.write")
 
 // QoESource supplies per-cohort shed-budget scales — the server half of
 // the fleet QoE feedback loop. The canonical implementation is
@@ -108,6 +114,9 @@ func (t *sessionTrace) flush(logf func(string, ...any)) {
 }
 
 func (t *sessionTrace) write() error {
+	if err := siteTraceWrite.Err(); err != nil {
+		return err
+	}
 	if err := os.MkdirAll(filepath.Dir(t.path), 0o755); err != nil {
 		return err
 	}

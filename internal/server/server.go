@@ -24,12 +24,32 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dragonfly/internal/chaos"
 	"dragonfly/internal/obs"
 	"dragonfly/internal/player"
 	"dragonfly/internal/proto"
 	"dragonfly/internal/store"
 	"dragonfly/internal/video"
 )
+
+// Failpoints (see docs/RESILIENCE.md, "Failpoint catalog"). Disarmed —
+// always, outside chaos tests — each is a single atomic load on the path
+// that hosts it; the send-path cost is pinned by BenchmarkManyConnStream
+// and the AllocsPerRun send tests.
+var (
+	// server.accept: drop (error kinds) or stall (delay) a just-accepted
+	// connection before any handshake byte, as if the socket died between
+	// accept and handoff.
+	siteAccept = chaos.NewSite("server.accept")
+	// server.send.write: fail, stall, tear (partial), or bit-flip
+	// (corrupt) one batched vectored write on the tile send path.
+	siteSendWrite = chaos.NewSite("server.send.write")
+)
+
+// ErrWriteStall reports a session torn down for exhausting its
+// WriteStallBudget: the peer accepted bytes too slowly for too long
+// (slowloris) and the session was killed to release its queue commitment.
+var ErrWriteStall = errors.New("server: write-stall budget exhausted")
 
 // DefaultHeartbeat is the idle-ping period used when Heartbeat is zero.
 const DefaultHeartbeat = time.Second
@@ -73,6 +93,15 @@ type Server struct {
 	// the handshake with a typed busy ErrorMsg that resilient clients
 	// treat as retryable-with-backoff. 0 means unlimited.
 	MaxConns int
+	// WriteStallBudget bounds the cumulative *excess* time a session may
+	// spend blocked in writes — the slowloris defense. Each write gets a
+	// free allowance of a tenth of the budget (at least 1 ms); time beyond
+	// the allowance accumulates, and when the total exceeds the budget the
+	// session is killed with ErrWriteStall, releasing its queue bytes.
+	// This is distinct from WriteTimeout: a peer that drains each write
+	// just inside the deadline can still pin queue memory for the whole
+	// session; the stall budget bounds that integral. 0 disables.
+	WriteStallBudget time.Duration
 
 	// QoE, when non-nil, scales each session's queue budgets by its
 	// cohort's shed-budget scale at every request install — the server
@@ -146,6 +175,7 @@ type counters struct {
 	rejectedConns atomic.Int64
 	probes        atomic.Int64
 	qoeInstalls   atomic.Int64
+	stallKills    atomic.Int64
 }
 
 // Counters is a snapshot of the server's send accounting; the chaos tests
@@ -170,6 +200,9 @@ type Counters struct {
 	// QoEScaledInstalls counts request installs whose queue budgets were
 	// adjusted by a non-neutral cohort scale from the QoE feedback loop.
 	QoEScaledInstalls int64
+	// WriteStallKills counts sessions torn down with ErrWriteStall for
+	// exhausting WriteStallBudget.
+	WriteStallKills int64
 }
 
 // Counters returns a snapshot of the server's send accounting.
@@ -188,6 +221,7 @@ func (s *Server) Counters() Counters {
 		RejectedConns:     s.ctr.rejectedConns.Load(),
 		Probes:            s.ctr.probes.Load(),
 		QoEScaledInstalls: s.ctr.qoeInstalls.Load(),
+		WriteStallKills:   s.ctr.stallKills.Load(),
 	}
 }
 
@@ -305,6 +339,18 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 				return ctx.Err()
 			}
 			return fmt.Errorf("server: accept: %w", err)
+		}
+		if f := siteAccept.Fault(); f.Active() {
+			// Injected accept-path fault: the connection dies (or stalls)
+			// between accept and handoff, before any handshake byte.
+			// Clients see a closed conn and redial through their normal
+			// reconnect path.
+			if f.Kind == chaos.FaultDelay {
+				time.Sleep(f.Delay)
+			} else {
+				conn.Close()
+				continue
+			}
 		}
 		wg.Add(1)
 		go func() {
@@ -761,6 +807,30 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 			idle.Stop()
 		}
 	}()
+	// Write-stall (slowloris) accounting: each write is allowed
+	// stallThresh of blocking for free; the excess accumulates in
+	// stallSpent and exhausting stallBudget kills the session. Metering
+	// (the time.Now pair) is skipped entirely when the budget is off, so
+	// the default hot path is unchanged.
+	stallBudget := s.WriteStallBudget
+	stallThresh := stallBudget / 10
+	if stallBudget > 0 && stallThresh < time.Millisecond {
+		stallThresh = time.Millisecond
+	}
+	var stallSpent time.Duration
+	noteStall := func(d time.Duration) error {
+		if d <= stallThresh {
+			return nil
+		}
+		stallSpent += d - stallThresh
+		if stallSpent <= stallBudget {
+			return nil
+		}
+		st.close()
+		s.ctr.stallKills.Add(1)
+		s.Obs.Counter("srv_write_stall_kills").Inc()
+		return ErrWriteStall
+	}
 	for {
 		it, ok, done := st.next(m)
 		if done {
@@ -780,9 +850,18 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 					}
 				case <-idle.C:
 					s.setWriteDeadline(conn)
+					var start time.Time
+					if stallBudget > 0 {
+						start = time.Now()
+					}
 					if err := proto.WritePing(conn); err != nil {
 						st.close()
 						return fmt.Errorf("server: send ping: %w", err)
+					}
+					if stallBudget > 0 {
+						if err := noteStall(time.Since(start)); err != nil {
+							return fmt.Errorf("server: send ping: %w", err)
+						}
 					}
 					s.ctr.pings.Add(1)
 					co.pings.Inc()
@@ -821,7 +900,11 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 		if len(batch) > 0 {
 			s.setWriteDeadline(conn)
 			wire = scratch
-			n, err := wire.WriteTo(conn)
+			var start time.Time
+			if stallBudget > 0 {
+				start = time.Now()
+			}
+			n, err := writeBatch(conn, wire)
 			// Credit only frames the connection fully accepted; on a
 			// partial write the torn tail was never delivered, and the
 			// dedup invariants the chaos tests pin are send upper bounds.
@@ -849,6 +932,11 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 				st.close()
 				return fmt.Errorf("server: send tile: %w", err)
 			}
+			if stallBudget > 0 {
+				if err := noteStall(time.Since(start)); err != nil {
+					return fmt.Errorf("server: send tile: %w", err)
+				}
+			}
 		}
 		if drained {
 			break
@@ -869,6 +957,56 @@ func (s *Server) HandleConnContext(ctx context.Context, conn net.Conn) error {
 		return err
 	}
 	return nil
+}
+
+// writeBatch flushes one gathered batch. Disarmed (always, in production)
+// it is exactly the vectored wire.WriteTo; armed, the server.send.write
+// failpoint turns the flush into a returned error, a stall, a torn write
+// delivering only a prefix, or a full write with one flipped byte. The
+// fault paths flatten into a private copy — the store's shared buffers are
+// immutable and must never be written through.
+func writeBatch(conn net.Conn, wire net.Buffers) (int64, error) {
+	f := siteSendWrite.Fault()
+	if !f.Active() {
+		return wire.WriteTo(conn)
+	}
+	switch f.Kind {
+	case chaos.FaultDelay:
+		time.Sleep(f.Delay)
+		return wire.WriteTo(conn)
+	case chaos.FaultError:
+		return 0, f.Err
+	}
+	var total int
+	for _, b := range wire {
+		total += len(b)
+	}
+	flat := make([]byte, 0, total)
+	for _, b := range wire {
+		flat = append(flat, b...)
+	}
+	if f.Kind == chaos.FaultCorrupt && len(flat) > 0 {
+		// One flipped byte in the last frame's CRC trailer: the client's
+		// frame CRC fails and the link tears down. The trailer (not an
+		// arbitrary offset) is chosen so the frame LENGTH fields stay
+		// intact — a corrupted length would stall the reader waiting for
+		// bytes that never come rather than failing fast, which is the
+		// read-timeout failure mode, not the integrity one this kind
+		// models. The hit tick picks which trailer byte, deterministically.
+		off := len(flat) - 1 - int(f.Tick%uint64(min(4, len(flat))))
+		flat[off] ^= 0x40
+		n, err := conn.Write(flat)
+		return int64(n), err
+	}
+	// Partial: deliver a prefix, then fail as the kernel would on a
+	// connection reset mid-writev. The caller's cumulative-offset
+	// accounting credits only fully delivered frames.
+	k := int(float64(len(flat)) * f.Frac)
+	n, err := conn.Write(flat[:k])
+	if err == nil {
+		err = f.Err
+	}
+	return int64(n), err
 }
 
 // ListenAndServe listens on addr and serves until ctx is done.

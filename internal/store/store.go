@@ -29,12 +29,24 @@ package store
 import (
 	"net"
 	"sync"
+	"time"
 
+	"dragonfly/internal/chaos"
 	"dragonfly/internal/geom"
 	"dragonfly/internal/player"
 	"dragonfly/internal/proto"
 	"dragonfly/internal/video"
 )
+
+// store.frame is the disk-tier failpoint (see docs/RESILIENCE.md): armed,
+// it withholds a frame (error/partial kinds — the tile is simply not
+// appended this pass, as if the backing read failed) or substitutes a
+// CRC-valid frame whose payload is corrupted (corrupt kind) — the wire
+// trailer is recomputed over the flipped payload, so the link survives and
+// the client's manifest payload checksum is the only guard that can catch
+// it. Disarmed it is one atomic load inside AppendFrame, pinned by the
+// steady-state zero-alloc test and BenchmarkFrameWritePreframed.
+var siteFrame = chaos.NewSite("store.frame")
 
 // Store holds the pre-framed wire buffers of every tile frame of one
 // manifest. It is immutable after construction; see the package comment.
@@ -173,10 +185,50 @@ func (s *Store) AppendFrame(bufs net.Buffers, it player.RequestItem) (net.Buffer
 	if !ok {
 		return bufs, 0, false
 	}
+	if f := siteFrame.Fault(); f.Active() {
+		return s.appendFaulted(bufs, it, idx, size, f)
+	}
 	bufs = append(bufs, s.heads[idx*proto.TileHeadSize:(idx+1)*proto.TileHeadSize])
 	if size > 0 {
 		// Zero-length buffers are skipped: an empty Write blocks on
 		// rendezvous transports (net.Pipe) and costs a syscall for nothing.
+		bufs = append(bufs, s.payload[:size])
+	}
+	bufs = append(bufs, s.trailers[idx*proto.TileTrailerSize:(idx+1)*proto.TileTrailerSize])
+	return bufs, int64(proto.TileFrameOverhead) + size, true
+}
+
+// appendFaulted is the armed store.frame slow path. Error and partial
+// kinds withhold the frame — the caller sees the same "store cannot serve
+// this item" skip a locate miss produces, and the client refetches through
+// normal scheduling. Delay stalls, then serves normally. Corrupt builds a
+// fresh frame (never touching the shared immutable buffers) whose payload
+// has one flipped byte and whose trailer CRC is recomputed to match: the
+// wire layer accepts it, and only the client's per-tile manifest checksum
+// can reject the tile.
+func (s *Store) appendFaulted(bufs net.Buffers, it player.RequestItem, idx int, size int64, f chaos.Fault) (net.Buffers, int64, bool) {
+	switch f.Kind {
+	case chaos.FaultDelay:
+		time.Sleep(f.Delay)
+	case chaos.FaultCorrupt:
+		if size == 0 {
+			break // nothing to corrupt in an empty payload; serve normally
+		}
+		head := make([]byte, proto.TileHeadSize)
+		trailer := make([]byte, proto.TileTrailerSize)
+		payload := make([]byte, size)
+		copy(payload, s.payload[:size])
+		payload[int(f.Tick%uint64(size))] ^= 0x01
+		if err := proto.PreframeTile(head, trailer, it, payload); err != nil {
+			return bufs, 0, false
+		}
+		bufs = append(bufs, head, payload, trailer)
+		return bufs, int64(proto.TileFrameOverhead) + size, true
+	default: // error, partial: the frame is withheld this pass
+		return bufs, 0, false
+	}
+	bufs = append(bufs, s.heads[idx*proto.TileHeadSize:(idx+1)*proto.TileHeadSize])
+	if size > 0 {
 		bufs = append(bufs, s.payload[:size])
 	}
 	bufs = append(bufs, s.trailers[idx*proto.TileTrailerSize:(idx+1)*proto.TileTrailerSize])

@@ -45,7 +45,35 @@ for m in $metrics; do
 done
 [ "$drift" = 0 ] || exit 1
 
+# Failpoint doc-drift gate: every chaos site registered in the source must
+# appear in the docs/RESILIENCE.md catalog — site names are stable API for
+# fault schedules, and an undocumented one is an injection point nobody
+# can find when a soak fails.
+sites=$(grep -rhoE 'chaos\.NewSite\("[a-z0-9._]+"' \
+	--include='*.go' --exclude='*_test.go' internal cmd |
+	sed -E 's/.*\("//; s/"$//' | sort -u)
+sdrift=0
+for s in $sites; do
+	if ! grep -qF "\`${s}\`" docs/RESILIENCE.md; then
+		echo "failpoint site '$s' registered in code but missing from docs/RESILIENCE.md" >&2
+		sdrift=1
+	fi
+done
+[ "$sdrift" = 0 ] || exit 1
+
 go test -race -timeout 600s ./...
+
+# Chaos-soak gate: every registered failpoint site armed from one seeded
+# schedule over the full fleet + ingest stack, run once more explicitly
+# and uncached. Asserts zero rebuffering, no unexplained duplicate
+# primary sends, no corrupt tile held, zero telemetry drops, and snapshot
+# quarantine + recovery.
+go test -race -run '^TestChaosSoak$' -count=1 -timeout 120s ./internal/experiments
+
+# Disarmed-overhead gate: failpoints must stay free when nobody is
+# injecting — a disarmed site is one atomic load and zero allocations on
+# the hot path. (The benchdiff comparison below holds the timing side.)
+go test -run '^TestDisarmedHitZeroAlloc$' -count=1 -timeout 60s ./internal/chaos
 
 # Fleet-chaos gate: the balancer + kill/cold-restart/drain proof runs once
 # more explicitly (and uncached) so a flake here is visible as its own
